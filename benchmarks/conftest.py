@@ -1,0 +1,77 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+paper-vs-measured comparison. Absolute numbers differ (the substrate is a
+synthetic simulator, not the authors' testbed); the assertions check the
+*shape*: who wins, roughly by how much, and where crossovers fall.
+
+Set ``REPRO_FULL=1`` to evaluate all ten Table 2 model families instead of
+the representative four.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval import eval_corpus, perplexity, quantize_model
+from repro.models import MODEL_FAMILIES, build_model
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+TABLE2_FAMILIES = (
+    list(MODEL_FAMILIES)
+    if FULL
+    else ["opt-6.7b", "llama2-7b", "llama3-8b", "phi3-3.8b"]
+)
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a monospace comparison table into the pytest -s output."""
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+class PplCache:
+    """Quantize-and-evaluate cache shared across benchmarks in a session."""
+
+    def __init__(self):
+        self._models = {}
+        self._ppl = {}
+
+    def model(self, family: str):
+        if family not in self._models:
+            self._models[family] = build_model(family)
+        return self._models[family]
+
+    def fp_ppl(self, family: str) -> float:
+        key = (family, "fp16", None, None)
+        if key not in self._ppl:
+            m = self.model(family)
+            self._ppl[key] = perplexity(m, eval_corpus(m))
+        return self._ppl[key]
+
+    def ppl(self, family: str, method: str, w_bits: int, act_bits=None) -> float:
+        key = (family, method, w_bits, act_bits)
+        if key not in self._ppl:
+            m = self.model(family)
+            corpus = eval_corpus(m)
+            quantize_model(m, method, w_bits, act_bits=act_bits)
+            self._ppl[key] = perplexity(m, corpus)
+            m.clear_overrides()
+        return self._ppl[key]
+
+
+@pytest.fixture(scope="session")
+def ppl_cache():
+    return PplCache()

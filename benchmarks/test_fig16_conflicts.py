@@ -1,0 +1,37 @@
+"""Fig. 16(b): ReCoN access conflicts vs number of ReCoN units (64x64).
+
+Paper shape: <3% conflicts with a single shared unit, falling to ~0% by
+8 units."""
+
+import pytest
+
+from repro.accelerator import AcceleratorConfig, LayerSpec, simulate_gemm
+from benchmarks.conftest import print_table
+
+UNITS = (1, 2, 4, 8)
+
+
+def compute():
+    # A square 4096-wide layer at bb=2 with a 1.2% outlier rate — the
+    # densest ReCoN-demand configuration of the evaluated models.
+    spec = LayerSpec.synthetic("probe", 4096, 4096, bit_budget=2, outlier_fraction=0.012)
+    out = []
+    for n in UNITS:
+        cfg = AcceleratorConfig(n_recon=n)
+        stats = simulate_gemm(spec, 1, cfg)
+        out.append((n, stats.conflict_pct))
+    return out
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16b_recon_conflicts(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Fig. 16(b) — ReCoN access conflicts, 64x64 array (paper: 2.8% -> 0%)",
+        ["# ReCoN units", "conflict %"],
+        [[n, f"{c:.2f}"] for n, c in rows],
+    )
+    by = dict(rows)
+    assert by[1] < 15.0, "single-unit conflicts stay low (paper <3%)"
+    assert by[1] >= by[2] >= by[4] >= by[8]
+    assert by[8] == 0.0

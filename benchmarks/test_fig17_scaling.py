@@ -1,0 +1,52 @@
+"""Fig. 17: total area scaling across array sizes vs OliVe.
+
+Paper shape: the single-ReCoN MicroScopiQ variant stays below OliVe's
+area at every scale; ReCoN's share of area shrinks as the array grows
+(3% at 128x128); the 8-ReCoN variant costs only ~11% extra at 128x128
+and is comparable to OliVe."""
+
+import pytest
+
+from repro.accelerator import microscopiq_area, olive_area, sram_area_mm2
+from benchmarks.conftest import print_table
+
+SCALES = [(8, 8, 64), (16, 16, 128), (64, 64, 512), (128, 128, 1024)]
+
+
+def compute():
+    rows = []
+    for r, c, buf_kb in SCALES:
+        sram = sram_area_mm2(buf_kb) + sram_area_mm2(2048)
+        ms1 = microscopiq_area(r, c, n_recon=1)
+        ms8 = microscopiq_area(r, c, n_recon=8)
+        ol = olive_area(r, c)
+        rows.append(
+            (
+                f"{r}x{c}",
+                ms1.total_mm2,
+                ms8.total_mm2,
+                ol.total_mm2,
+                ms1.by_name()["ReCoN"] / ms1.total_um2 * 100,
+                sram,
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_area_scaling(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Fig. 17 — compute area (mm²) across array sizes",
+        ["array", "MS (1 ReCoN)", "MS (8 ReCoN)", "OliVe", "ReCoN % of compute", "SRAM mm²"],
+        [
+            [a, f"{m1:.4f}", f"{m8:.4f}", f"{o:.4f}", f"{rp:.1f}", f"{s:.2f}"]
+            for a, m1, m8, o, rp, s in rows
+        ],
+    )
+    recon_pcts = [r[4] for r in rows]
+    assert recon_pcts == sorted(recon_pcts, reverse=True), "ReCoN share shrinks"
+    assert recon_pcts[-1] < 4.0, "~3% at 128x128 (paper)"
+    for _, ms1, ms8, ol, _, _ in rows:
+        assert ms1 < ol * 1.25, "1-ReCoN variant at or below OliVe-class area"
+        assert ms8 / ms1 < 1.7, "8 units cost bounded extra compute area"

@@ -1,0 +1,71 @@
+"""Fig. 18: (a) latency/area vs number of time-multiplexed ReCoN units;
+(b) integration overhead on MTIA-like and Eyeriss-v2-like NoC accelerators.
+
+Paper shape: up to 8 units buys ~21% latency at 1.58x compute area on a
+mixed prefill+decode workload; integrating ReCoN into accelerators that
+already have NoCs costs only 3% / 2.3% compute area."""
+
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    GEOMETRIES,
+    layer_specs,
+    microscopiq_area,
+    noc_integration_overhead,
+    simulate_layers,
+)
+from benchmarks.conftest import print_table
+
+UNITS = (1, 2, 4, 8)
+
+
+def compute():
+    # Mixed workload: a short prefill burst plus decode steps — the regime
+    # where extra ReCoN units pay off.
+    specs = layer_specs(GEOMETRIES["llama3-8b"], bit_budget=2)
+    out = []
+    for n in UNITS:
+        cfg = AcceleratorConfig(n_recon=n)
+        pre = simulate_layers(specs, 16, cfg)
+        dec = simulate_layers(specs, 1, cfg)
+        cycles = pre.cycles + 32 * dec.cycles
+        area = microscopiq_area(n_recon=n).total_mm2
+        out.append((n, cycles, area))
+    return out
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18a_recon_unit_tradeoff(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    base_c, base_a = rows[0][1], rows[0][2]
+    print_table(
+        "Fig. 18(a) — ReCoN units vs latency & compute area (normalized)",
+        ["# units", "norm latency", "norm compute area"],
+        [[n, f"{c / base_c:.3f}", f"{a / base_a:.2f}"] for n, c, a in rows],
+    )
+    lats = [c for _, c, _ in rows]
+    areas = [a for _, _, a in rows]
+    assert lats == sorted(lats, reverse=True), "latency monotone non-increasing"
+    gain = 1.0 - lats[-1] / lats[0]
+    assert 0.0 <= gain < 0.6, "bounded gain from 8 units (paper: 21%)"
+    assert areas[-1] / areas[0] < 1.7, "8 units <= ~1.58x compute area (paper)"
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18b_noc_integration(benchmark):
+    res = benchmark.pedantic(
+        lambda: {a: noc_integration_overhead(a) for a in ("mtia", "eyeriss-v2")},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig. 18(b) — MicroScopiQ integration overhead on NoC accelerators",
+        ["arch", "overhead %", "paper"],
+        [
+            ["mtia", f"{res['mtia']['overhead_pct']:.1f}", "3.0"],
+            ["eyeriss-v2", f"{res['eyeriss-v2']['overhead_pct']:.1f}", "2.3"],
+        ],
+    )
+    assert res["mtia"]["overhead_pct"] <= 4.0
+    assert res["eyeriss-v2"]["overhead_pct"] <= 3.0

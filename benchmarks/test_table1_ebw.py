@@ -1,0 +1,47 @@
+"""Table 1: qualitative comparison — EBW of Group A / Group B / MicroScopiQ.
+
+Paper values: GOBO (Group A) 18.17 bits, OliVe (Group B) 2 bits,
+MicroScopiQ 2.36 bits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import QUANTIZERS
+from benchmarks.conftest import print_table
+
+
+def compute(weights, calib):
+    return {
+        "gobo (Group A)": QUANTIZERS["gobo"](weights, calib, bits=4).ebw,
+        "olive (Group B)": QUANTIZERS["olive"](weights, calib, bits=2).ebw,
+        "microscopiq": QUANTIZERS["microscopiq"](weights, calib, bits=2).ebw,
+    }
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    w = rng.normal(0, 0.02, (128, 512))
+    mask = rng.random(w.shape) < 0.012
+    w[mask] *= rng.uniform(4, 8, int(mask.sum()))
+    x = rng.normal(0, 1, (128, 512))
+    return w, x
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_ebw(benchmark, data):
+    w, x = data
+    ebw = benchmark.pedantic(compute, args=data, rounds=1, iterations=1)
+    print_table(
+        "Table 1 — effective bit-width",
+        ["method", "EBW (ours)", "EBW (paper)"],
+        [
+            ["gobo (Group A)", f"{ebw['gobo (Group A)']:.2f}", "18.17"],
+            ["olive (Group B)", f"{ebw['olive (Group B)']:.2f}", "2.00"],
+            ["microscopiq", f"{ebw['microscopiq']:.2f}", "2.36"],
+        ],
+    )
+    assert ebw["olive (Group B)"] == 2.0
+    assert 2.0 < ebw["microscopiq"] < 3.0
+    assert ebw["gobo (Group A)"] > ebw["microscopiq"]

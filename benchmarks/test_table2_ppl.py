@@ -1,0 +1,67 @@
+"""Table 2: WikiText2-analog perplexity across models, methods, settings.
+
+Paper shape to reproduce, per quantization setting:
+
+* W4A16 — MicroScopiQ best or tied-best of all methods; near-lossless
+  (small gap to FP); OliVe clearly worst.
+* W4A4 — MicroScopiQ beats OmniQuant, SmoothQuant, Atom, OliVe.
+* W2A16 — MicroScopiQ beats OmniQuant and SDQ.
+* W2A8 — MicroScopiQ beats OmniQuant and Atom.
+"""
+
+import pytest
+
+from benchmarks.conftest import TABLE2_FAMILIES, print_table
+
+SETTINGS = {
+    "W4A16": (4, None, ["microscopiq", "gptq", "awq", "omniquant", "gobo", "olive"]),
+    "W4A4": (4, 4, ["microscopiq", "omniquant", "smoothquant", "atom", "olive"]),
+    "W2A16": (2, None, ["microscopiq", "omniquant", "sdq"]),
+    "W2A8": (2, 8, ["microscopiq", "omniquant", "atom"]),
+}
+
+
+def compute_table(ppl_cache):
+    table = {}
+    for family in TABLE2_FAMILIES:
+        table[(family, "fp")] = ppl_cache.fp_ppl(family)
+        for setting, (wb, ab, methods) in SETTINGS.items():
+            for m in methods:
+                table[(family, setting, m)] = ppl_cache.ppl(family, m, wb, ab)
+    return table
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_ppl(benchmark, ppl_cache):
+    table = benchmark.pedantic(compute_table, args=(ppl_cache,), rounds=1, iterations=1)
+
+    for setting, (wb, ab, methods) in SETTINGS.items():
+        rows = []
+        for family in TABLE2_FAMILIES:
+            row = [family, f"{table[(family, 'fp')]:.2f}"] + [
+                f"{table[(family, setting, m)]:.2f}" for m in methods
+            ]
+            rows.append(row)
+        print_table(
+            f"Table 2 ({setting}) — PPL, lower is better",
+            ["model", "fp16"] + methods,
+            rows,
+        )
+
+    # --- shape assertions -------------------------------------------------
+    wins = 0
+    for family in TABLE2_FAMILIES:
+        fp = table[(family, "fp")]
+        for setting, (wb, ab, methods) in SETTINGS.items():
+            ms = table[(family, setting, "microscopiq")]
+            others = [table[(family, setting, m)] for m in methods if m != "microscopiq"]
+            assert ms > fp * 0.98, "quantized PPL must not beat FP"
+            wins += sum(ms <= o * 1.02 for o in others)
+        # W4A16 near-lossless: within 35% of FP on the toy substrate
+        assert table[(family, "W4A16", "microscopiq")] < fp * 1.6
+        # OliVe worst at W4A16 (its locality assumption)
+        w4 = {m: table[(family, "W4A16", m)] for m in SETTINGS["W4A16"][2]}
+        assert w4["olive"] >= sorted(w4.values())[-2] * 0.9
+    total = sum(len(m) - 1 for _, (_, _, m) in SETTINGS.items()) * len(TABLE2_FAMILIES)
+    # MicroScopiQ wins (or ties within 2%) the large majority of cells.
+    assert wins / total > 0.8, f"MicroScopiQ won only {wins}/{total} comparisons"

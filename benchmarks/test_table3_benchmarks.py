@@ -1,0 +1,38 @@
+"""Table 3: LLaMA-2-70B-analog zero-shot benchmarks at W2A16.
+
+Paper shape: MicroScopiQ > OmniQuant > OliVe on ARC-c, HellaSwag, MMLU,
+WinoGrande (MicroScopiQ up to 9% ahead)."""
+
+import pytest
+
+from repro.eval import LM_TASKS, quantize_model, task_accuracy, task_labels
+from repro.models import build_model
+from benchmarks.conftest import print_table
+
+TASKS = ["arc-c", "hellaswag", "mmlu", "winogrande"]
+METHODS = ["olive", "omniquant", "microscopiq"]
+
+
+def compute():
+    m = build_model("llama2-70b")
+    labels = {t: task_labels(m, LM_TASKS[t]) for t in TASKS}
+    acc = {}
+    for method in METHODS:
+        quantize_model(m, method, 2)
+        acc[method] = {t: task_accuracy(m, *labels[t]) for t in TASKS}
+        m.clear_overrides()
+    return acc
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_w2a16_benchmarks(benchmark):
+    acc = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Table 3 — LLaMA-2-70B analog, W2A16, accuracy relative to FP (=100)",
+        ["method"] + TASKS,
+        [[m] + [f"{acc[m][t]:.1f}" for t in TASKS] for m in METHODS],
+    )
+    wins_omni = sum(acc["microscopiq"][t] >= acc["omniquant"][t] for t in TASKS)
+    wins_olive = sum(acc["microscopiq"][t] >= acc["olive"][t] for t in TASKS)
+    assert wins_omni >= 3, "MicroScopiQ must beat OmniQuant on most tasks"
+    assert wins_olive >= 3, "MicroScopiQ must beat OliVe on most tasks"

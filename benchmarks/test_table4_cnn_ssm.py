@@ -1,0 +1,76 @@
+"""Table 4: CNN and SSM generality (ResNet50/VGG16, VMamba/Vim analogs).
+
+Paper shape: near-lossless W4A4 and W2A8 on CNNs (<1.5% drop), ≤3% at
+W2A4; SSMs degrade far more than CNNs but MicroScopiQ stays well above the
+QMamba-class baseline (plain per-group RTN)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import quantize_model
+from repro.models import build_cnn, build_ssm
+from benchmarks.conftest import print_table
+
+# Published FP baselines used to map relative agreement -> absolute top-1.
+FP_TOP1 = {"resnet50": 76.15, "vgg16": 71.59, "vmamba-s": 83.60, "vim-s": 80.50}
+
+
+def compute():
+    rng = np.random.default_rng(5)
+    out = {}
+    for name in ("resnet50", "vgg16"):
+        cnn = build_cnn(name)
+        calib = rng.normal(0, 1, (16, 3, 16, 16))
+        test = rng.normal(0, 1, (192, 3, 16, 16))
+        fp = cnn.predict(test)
+        for setting, wb, ab in [("W4A4", 4, 4), ("W2A8", 2, 8), ("W2A4", 2, 4)]:
+            quantize_model(cnn, "microscopiq", wb, act_bits=ab, calib=calib)
+            out[(name, setting, "microscopiq")] = 100 * np.mean(cnn.predict(test) == fp)
+            cnn.clear_overrides()
+        quantize_model(cnn, "rtn", 2, act_bits=4, calib=calib)
+        out[(name, "W2A4", "rtn")] = 100 * np.mean(cnn.predict(test) == fp)
+        cnn.clear_overrides()
+    for name in ("vmamba-s", "vim-s"):
+        ssm = build_ssm(name)
+        d = ssm.profile.d_model
+        calib = rng.normal(0, 1, (16, 24, d))
+        test = rng.normal(0, 1, (192, 24, d))
+        fp = ssm.predict(test)
+        for setting, wb, ab in [("W4A4", 4, 4), ("W2A8", 2, 8)]:
+            quantize_model(ssm, "microscopiq", wb, act_bits=ab, calib=calib)
+            out[(name, setting, "microscopiq")] = 100 * np.mean(ssm.predict(test) == fp)
+            ssm.clear_overrides()
+        # QMamba-class baseline: static per-tensor INT quantization.
+        quantize_model(ssm, "rtn", 4, act_bits=4, calib=calib, group_size=1 << 20)
+        out[(name, "W4A4", "rtn")] = 100 * np.mean(ssm.predict(test) == fp)
+        ssm.clear_overrides()
+    return out
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_cnn_ssm(benchmark):
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for (model, setting, method), agree in sorted(res.items()):
+        mapped = agree / 100 * FP_TOP1[model]
+        rows.append([model, setting, method, f"{agree:.1f}", f"{mapped:.1f}"])
+    print_table(
+        "Table 4 — Top-1 relative agreement (and mapped absolute)",
+        ["model", "setting", "method", "agree%", "mapped top-1"],
+        rows,
+    )
+    # CNNs: precision-monotone degradation; W2A4 still beats plain RTN.
+    for cnn in ("resnet50", "vgg16"):
+        assert (
+            res[(cnn, "W4A4", "microscopiq")]
+            >= res[(cnn, "W2A8", "microscopiq")] - 2.0
+            >= res[(cnn, "W2A4", "microscopiq")] - 4.0
+        )
+        assert res[(cnn, "W2A4", "microscopiq")] >= res[(cnn, "W2A4", "rtn")]
+    assert res[("resnet50", "W4A4", "microscopiq")] > 88.0
+    # SSMs harder than CNNs; MicroScopiQ above the QMamba-class static
+    # baseline (the paper's 30-point gap compresses on the 64-wide toy
+    # substrate, where per-tensor and per-128 grouping coincide).
+    for ssm in ("vmamba-s", "vim-s"):
+        assert res[(ssm, "W4A4", "microscopiq")] < res[("resnet50", "W4A4", "microscopiq")]
+        assert res[(ssm, "W4A4", "microscopiq")] >= res[(ssm, "W4A4", "rtn")]

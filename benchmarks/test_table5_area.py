@@ -1,0 +1,68 @@
+"""Table 5: compute area, overhead, and compute density at 64×64 / 7 nm.
+
+Paper values: MicroScopiQ 0.012 mm² / 8.63% overhead / 367.5 TOPS/mm²;
+OliVe 0.011 / 9.90% / 184.3; GOBO 0.216 / 3.28% / 28.3.
+"""
+
+import pytest
+
+from repro.accelerator import (
+    compute_density_tops_mm2,
+    gobo_area,
+    microscopiq_area,
+    olive_area,
+)
+from benchmarks.conftest import print_table
+
+
+def compute():
+    ms, ol, gb = microscopiq_area(), olive_area(), gobo_area()
+    return {
+        "microscopiq": (
+            ms.total_mm2,
+            ms.overhead_pct(("Base PE",)),
+            compute_density_tops_mm2(ms, 64, 64, 2.0),  # bb=2 packing
+        ),
+        "olive": (
+            ol.total_mm2,
+            ol.overhead_pct(("Base PE",)),
+            compute_density_tops_mm2(ol, 64, 64, 0.5),  # PE pairing
+        ),
+        "gobo": (
+            gb.total_mm2,
+            gb.overhead_pct(("Group PE",)),
+            compute_density_tops_mm2(gb, 64, 64, 1.0),
+        ),
+    }
+
+
+PAPER = {
+    "microscopiq": (0.012, 8.63, 367.51),
+    "olive": (0.011, 9.90, 184.30),
+    "gobo": (0.216, 3.28, 28.28),
+}
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_area_density(benchmark):
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for arch, (area, ovh, dens) in res.items():
+        pa, po, pd = PAPER[arch]
+        rows.append(
+            [arch, f"{area:.4f}", f"{pa}", f"{ovh:.1f}", f"{po}", f"{dens:.0f}", f"{pd}"]
+        )
+    print_table(
+        "Table 5 — compute area (mm²), overhead (%), density (TOPS/mm²)",
+        ["arch", "area", "paper", "ovh%", "paper", "density", "paper"],
+        rows,
+    )
+    # Areas match the paper's published component sums.
+    assert res["microscopiq"][0] == pytest.approx(0.0128, abs=0.002)
+    assert res["olive"][0] == pytest.approx(0.0115, abs=0.002)
+    assert res["gobo"][0] == pytest.approx(0.216, abs=0.01)
+    # Density ordering and rough ratios: MS ~2x OliVe, >>10x GOBO.
+    assert res["microscopiq"][2] / res["olive"][2] > 1.5
+    assert res["microscopiq"][2] / res["gobo"][2] > 10
+    # MicroScopiQ's compute overhead below OliVe's.
+    assert res["microscopiq"][1] < res["olive"][1]

@@ -1,0 +1,118 @@
+"""Table 7: progressive ablation on the LLaMA-3-8B analog.
+
+Paper trajectory (PPL): FP 6.13 → INT-4 10.27 → MX-INT-4 9.53 →
+MX-INT-2 **39.48 (spike)** → +MX-FP outliers (per-tensor group) 10.96 →
++per-μB groups 8.93 → +prescale 8.89 → +pruning 9.02 (small ↑) →
++compensation 8.97 (recovers) → +act quant 9.08 → +KV cache 9.58.
+
+The shape to reproduce: the 2-bit spike, the large recovery from per-μB
+MX-FP outliers, and the small perturbations from the remaining steps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import calibration_tokens, eval_corpus, perplexity
+from repro.models import build_model
+from repro.quant import MicroScopiQConfig, quantize_kv_cache, quantize_matrix
+from repro.quant.activation import ActivationQuantizer, apply_migration
+from benchmarks.conftest import print_table
+
+
+def quantize_with(model, cfg, act_bits=None, alpha=0.7):
+    model.clear_overrides()
+    calib = calibration_tokens(model)
+    for name in model.linear_names:
+        acts = model.collect_calibration(calib)[name]
+        w = model.weights[name]
+        if act_bits is None:
+            packed = quantize_matrix(w, acts, cfg)
+            model.set_override(name, packed.dequant)
+        else:
+            ws, xs, scales = apply_migration(w, acts, alpha)
+            packed = quantize_matrix(ws, xs, cfg)
+            model.set_override(name, packed.dequant / scales[None, :])
+            model.act_quant[name] = ActivationQuantizer(scales, act_bits)
+
+
+def compute():
+    model = build_model("llama3-8b")
+    corpus = eval_corpus(model)
+    steps = []
+
+    def record(label, ppl):
+        steps.append((label, ppl))
+
+    record("baseline W16A16", perplexity(model, corpus))
+
+    base4 = MicroScopiQConfig(
+        inlier_bits=4, outlier_format="none", macro_block=128, compensate=False
+    )
+    # "INT-4 scalar": one group spanning the whole row.
+    d_in = max(model.weights[n].shape[1] for n in model.linear_names)
+    int4 = base4.with_(macro_block=1 << (d_in - 1).bit_length(), micro_block=8)
+    quantize_with(model, int4)
+    record("+ all weights INT-4 (per-row scale)", perplexity(model, corpus))
+
+    quantize_with(model, base4)
+    record("+ MX-INT-4 (group 128)", perplexity(model, corpus))
+
+    base2 = base4.with_(inlier_bits=2)
+    quantize_with(model, base2)
+    record("+ MX-INT-2 (group 128)", perplexity(model, corpus))
+
+    coarse = MicroScopiQConfig(
+        inlier_bits=2, micro_block=128, macro_block=128,
+        compensate=False, prescale_outliers=False,
+    )
+    quantize_with(model, coarse)
+    record("+ outliers MX-FP-4 (group 128)", perplexity(model, corpus))
+
+    fine = coarse.with_(micro_block=8)
+    quantize_with(model, fine)
+    record("+ outliers MX-FP-4 (μB=8)", perplexity(model, corpus))
+
+    pre = fine.with_(prescale_outliers=True)
+    quantize_with(model, pre)
+    record("+ reduce outlier magnitude 2^Isf", perplexity(model, corpus))
+
+    comp = pre.with_(compensate=True)
+    quantize_with(model, comp)
+    record("+ Hessian error compensation", perplexity(model, corpus))
+
+    quantize_with(model, comp, act_bits=8, alpha=0.7)
+    record("+ activations MX-INT-8, α=0.7", perplexity(model, corpus))
+
+    # KIVI-style 2-bit KV-cache quantization via the model's KV hook
+    # (residual window scaled to the toy sequence length).
+    model.kv_quant = lambda k, v: quantize_kv_cache(k, v, bits=2, residual=16)
+    record("+ 2-bit KV-cache quantization", perplexity(model, corpus))
+    model.clear_overrides()
+    return steps
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_ablation(benchmark):
+    steps = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ppl = dict(steps)
+    rows = [[label, f"{p:.2f}"] for label, p in steps]
+    print_table("Table 7 — progressive ablation (LLaMA-3-8B analog)", ["step", "PPL"], rows)
+
+    fp = steps[0][1]
+    spike = ppl["+ MX-INT-2 (group 128)"]
+    recovered = ppl["+ outliers MX-FP-4 (μB=8)"]
+    # The 2-bit spike and the μB-grouped MX-FP recovery (the table's core).
+    assert spike > 3.0 * fp
+    assert recovered < 0.55 * spike
+    # Per-μB grouping beats per-128 outlier grouping.
+    assert recovered <= ppl["+ outliers MX-FP-4 (group 128)"] * 1.02
+    # MX-INT-4 grouping no worse than per-row INT-4.
+    assert ppl["+ MX-INT-4 (group 128)"] <= ppl["+ all weights INT-4 (per-row scale)"] * 1.05
+    # Compensation helps; activation quantization adds little; 2-bit KV
+    # adds a visible but bounded increase (the toy model lacks the head
+    # redundancy of a real 8B model, so its KV step is larger than the
+    # paper's +0.5 — the direction is what carries over).
+    assert ppl["+ Hessian error compensation"] < ppl["+ reduce outlier magnitude 2^Isf"]
+    assert ppl["+ activations MX-INT-8, α=0.7"] <= ppl["+ Hessian error compensation"] * 1.3
+    kv = ppl["+ 2-bit KV-cache quantization"]
+    assert ppl["+ activations MX-INT-8, α=0.7"] <= kv <= ppl["+ activations MX-INT-8, α=0.7"] * 4.0

@@ -1,0 +1,49 @@
+"""Table 8: Omni-MicroScopiQ (LWC + LET) vs plain OmniQuant.
+
+Paper shape: Omni-MicroScopiQ < OmniQuant at every setting (up to 22%
+lower PPL), and also improves on plain MicroScopiQ."""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+FAMILIES = ["llama2-13b", "phi3-3.8b"]
+SETTINGS = [("W4A16", 4, None), ("W2A16", 2, None), ("W2A8", 2, 8)]
+
+
+def compute(ppl_cache):
+    table = {}
+    for fam in FAMILIES:
+        table[(fam, "fp")] = ppl_cache.fp_ppl(fam)
+        for name, wb, ab in SETTINGS:
+            for method in ("omniquant", "microscopiq", "omni-microscopiq"):
+                table[(fam, name, method)] = ppl_cache.ppl(fam, method, wb, ab)
+    return table
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_omni_microscopiq(benchmark, ppl_cache):
+    table = benchmark.pedantic(compute, args=(ppl_cache,), rounds=1, iterations=1)
+    rows = []
+    for fam in FAMILIES:
+        for name, wb, ab in SETTINGS:
+            rows.append(
+                [
+                    fam,
+                    name,
+                    f"{table[(fam, 'fp')]:.2f}",
+                    f"{table[(fam, name, 'omniquant')]:.2f}",
+                    f"{table[(fam, name, 'microscopiq')]:.2f}",
+                    f"{table[(fam, name, 'omni-microscopiq')]:.2f}",
+                ]
+            )
+    print_table(
+        "Table 8 — OmniQuant vs MicroScopiQ vs Omni-MicroScopiQ (PPL)",
+        ["model", "setting", "fp16", "omniquant", "microscopiq", "omni-ms"],
+        rows,
+    )
+    for fam in FAMILIES:
+        for name, wb, ab in SETTINGS:
+            omni_ms = table[(fam, name, "omni-microscopiq")]
+            assert omni_ms < table[(fam, name, "omniquant")]
+            assert omni_ms <= table[(fam, name, "microscopiq")] * 1.05

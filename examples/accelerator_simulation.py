@@ -1,0 +1,59 @@
+"""Accelerator walkthrough + performance study.
+
+Part 1 reproduces the paper's Fig. 8 end-to-end example functionally:
+an outlier's Upper/Lower halves flow through INT PEs and are recombined
+by ReCoN into the exact FP partial sum.
+
+Part 2 runs the cycle-level simulator: LLaMA-3-8B decode on the 64x64
+MicroScopiQ accelerator vs the baseline accelerators, plus the ReCoN
+design-variant sweep (Fig. 15/18).
+
+Run:  python examples/accelerator_simulation.py
+"""
+
+from repro.accelerator import (
+    ARCHS,
+    GEOMETRIES,
+    AcceleratorConfig,
+    OutlierHalfProduct,
+    ReCoN,
+    layer_specs,
+    microscopiq_area,
+    simulate_arch_inference,
+    simulate_layers,
+)
+
+# --- Part 1: the Fig. 8 example ------------------------------------------
+print("Fig. 8 walkthrough: outlier 1.5 (binary 1.10), iAct=32, iAcc=8")
+iact, iaccs = 32, [8, 10, 16, 16]
+upper = OutlierHalfProduct("upper", res=1 * iact, iacc=iaccs[0], sign=1, iact=iact, magnitude_bits=1)
+lower = OutlierHalfProduct("lower", res=0 * iact, iacc=iaccs[3], sign=1, iact=iact, magnitude_bits=1)
+ports = [upper, 1 * iact + iaccs[1], -1 * iact + iaccs[2], lower]
+out = ReCoN(4).route(ports)
+print(f"  ReCoN output: {out}  (expected outlier partial sum 56) \n")
+assert out[0] == 56.0
+
+# --- Part 2: performance comparison --------------------------------------
+geom = GEOMETRIES["llama3-8b"]
+print(f"Decode inference, {geom.name} geometry, 64x64 array @ 1 GHz:")
+results = {
+    arch: simulate_arch_inference(arch, geom, prefill=1, decode_tokens=32)
+    for arch in ARCHS
+}
+v2 = results["microscopiq-v2"]
+for arch, r in sorted(results.items(), key=lambda kv: kv[1].cycles):
+    print(
+        f"  {arch:16s} latency={r.latency_ms:9.1f} ms  "
+        f"energy={r.energy.total_nj / 1e6:8.1f} mJ  "
+        f"(x{r.cycles / v2.cycles:.2f} vs v2)"
+    )
+
+print("\nReCoN design variants (Fig. 15/18): units vs conflicts & area")
+specs = layer_specs(geom, bit_budget=2)
+for n in (1, 2, 4, 8):
+    stats = simulate_layers(specs, 1, AcceleratorConfig(n_recon=n))
+    area = microscopiq_area(n_recon=n).total_mm2
+    print(
+        f"  {n} ReCoN: conflicts={stats.conflict_pct:5.2f}%  "
+        f"compute area={area:.4f} mm^2"
+    )

@@ -1,0 +1,38 @@
+"""LLM post-training quantization study (a miniature Table 2).
+
+Quantizes the LLaMA-2-7B analog with every method at W4A16 and W2A16,
+plus the weight-activation settings W4A4 and W2A8, and prints perplexity
+and effective bit-width for each.
+
+Run:  python examples/llm_quantization.py
+"""
+
+from repro.eval import eval_corpus, perplexity, quantize_model
+from repro.models import build_model
+
+SETTINGS = [
+    ("W4A16", 4, None, ["microscopiq", "gptq", "awq", "omniquant", "gobo", "olive"]),
+    ("W2A16", 2, None, ["microscopiq", "omniquant", "sdq"]),
+    ("W4A4", 4, 4, ["microscopiq", "omniquant", "smoothquant", "atom"]),
+    ("W2A8", 2, 8, ["microscopiq", "omniquant", "atom"]),
+]
+
+
+def main():
+    model = build_model("llama2-7b")
+    corpus = eval_corpus(model)
+    print(f"model: {model.profile.paper_model} analog")
+    print(f"FP16 PPL: {perplexity(model, corpus):.2f}\n")
+
+    for setting, w_bits, act_bits, methods in SETTINGS:
+        print(f"--- {setting} ---")
+        for method in methods:
+            report = quantize_model(model, method, w_bits, act_bits=act_bits)
+            ppl = perplexity(model, corpus)
+            print(f"  {method:18s} PPL={ppl:8.2f}  EBW={report.mean_ebw:.2f}")
+            model.clear_overrides()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Quickstart: quantize a weight matrix and a whole model with MicroScopiQ.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import MicroScopiQConfig, quantize_matrix, quantize_model
+from repro.eval import eval_corpus, perplexity
+from repro.models import build_model
+
+# --- 1. One weight matrix -------------------------------------------------
+rng = np.random.default_rng(0)
+w = rng.normal(0.0, 0.02, (256, 512))
+outliers = rng.random(w.shape) < 0.01
+w[outliers] *= 6.0  # plant some 6-sigma outliers
+x = rng.normal(0.0, 1.0, (1024, 512))  # calibration activations
+
+for bits in (4, 2):
+    cfg = MicroScopiQConfig(inlier_bits=bits)
+    packed = quantize_matrix(w, x, cfg)
+    print(
+        f"W{bits}: EBW = {packed.ebw():.2f} bits  "
+        f"output error = {packed.reconstruction_error(w, x):.4f}  "
+        f"outliers kept = {packed.n_outliers}  pruned = {packed.n_pruned}"
+    )
+
+# --- 2. A whole model -----------------------------------------------------
+model = build_model("llama3-8b")  # synthetic LLaMA-3-8B analog
+corpus = eval_corpus(model)
+print(f"\nFP16 baseline PPL: {perplexity(model, corpus):.2f}")
+
+for method, bits in [("rtn", 2), ("microscopiq", 2)]:
+    report = quantize_model(model, method, bits)
+    print(
+        f"{method}-W{bits}: PPL = {perplexity(model, corpus):.2f} "
+        f"(mean EBW {report.mean_ebw:.2f} bits)"
+    )
+    model.clear_overrides()

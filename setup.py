@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The environment is offline; pip cannot fetch `wheel` for PEP 517 editable
+builds, so this file enables the legacy setuptools editable path. All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

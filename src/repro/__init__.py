@@ -1,0 +1,45 @@
+"""repro — a full reproduction of MicroScopiQ (ISCA 2025).
+
+MicroScopiQ: Accelerating Foundational Models through Outlier-Aware
+Microscaling Quantization (Ramachandran, Kundu, Krishna).
+
+Subpackages:
+    formats      — INT / minifloat / MX-INT / MX-FP number formats, EBW
+    quant        — the MicroScopiQ quantizer (Hessian engine, outlier
+                   handling, N:M redistribution pruning, packing)
+    baselines    — RTN, GPTQ, AWQ, SmoothQuant, OmniQuant, Atom, SDQ,
+                   OliVe, GOBO + the Omni-MicroScopiQ combination
+    models       — synthetic FM substrates (transformer LM, VLM, CNN, SSM)
+    eval         — corpora, perplexity, zero-shot tasks, PTQ harness
+    accelerator  — multi-precision PE + ReCoN functional models, the
+                   cycle-level performance/area/energy simulator
+    gpu          — A100 kernel cost model and tensor-core variants
+    core         — the high-level public API
+"""
+
+from . import accelerator, baselines, core, eval, formats, gpu, models, quant
+from .core import (
+    MicroScopiQConfig,
+    PackedLayer,
+    QuantizationReport,
+    quantize_matrix,
+    quantize_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MicroScopiQConfig",
+    "PackedLayer",
+    "QuantizationReport",
+    "accelerator",
+    "baselines",
+    "core",
+    "eval",
+    "formats",
+    "gpu",
+    "models",
+    "quant",
+    "quantize_matrix",
+    "quantize_model",
+]

@@ -1,0 +1,65 @@
+"""MicroScopiQ accelerator: functional PE/ReCoN models + performance sim."""
+
+from .archs import ARCHS, ArchSpec, InferenceResult, simulate_arch_inference
+from .area import (
+    AreaBreakdown,
+    AreaComponent,
+    compute_density_tops_mm2,
+    gobo_area,
+    microscopiq_area,
+    noc_integration_overhead,
+    olive_area,
+    sram_area_mm2,
+    total_accelerator_area,
+)
+from .config import AcceleratorConfig
+from .energy import EnergyParams, EnergyReport, energy_of
+from .mapping import LayerSpec
+from .noc import ReCoN, ReconTrace, merge_halves
+from .pe import (
+    MODE_2B,
+    MODE_4B,
+    MultiPrecisionPE,
+    OutlierHalfProduct,
+    pe_multiply_2b,
+    pe_multiply_4b,
+)
+from .systolic import GemmStats, recon_contention, simulate_gemm, simulate_layers
+from .workloads import GEOMETRIES, ModelGeometry, layer_specs
+
+__all__ = [
+    "ARCHS",
+    "GEOMETRIES",
+    "MODE_2B",
+    "MODE_4B",
+    "AcceleratorConfig",
+    "ArchSpec",
+    "AreaBreakdown",
+    "AreaComponent",
+    "EnergyParams",
+    "EnergyReport",
+    "GemmStats",
+    "InferenceResult",
+    "LayerSpec",
+    "ModelGeometry",
+    "MultiPrecisionPE",
+    "OutlierHalfProduct",
+    "ReCoN",
+    "ReconTrace",
+    "compute_density_tops_mm2",
+    "energy_of",
+    "gobo_area",
+    "layer_specs",
+    "merge_halves",
+    "microscopiq_area",
+    "noc_integration_overhead",
+    "olive_area",
+    "pe_multiply_2b",
+    "pe_multiply_4b",
+    "recon_contention",
+    "simulate_arch_inference",
+    "simulate_gemm",
+    "simulate_layers",
+    "sram_area_mm2",
+    "total_accelerator_area",
+]

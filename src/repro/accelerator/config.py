@@ -1,0 +1,55 @@
+"""Accelerator configuration (paper §5, Figure 4/5).
+
+Defaults model the 64×64 weight-stationary array the paper evaluates:
+1 GHz clock, HBM2 off-chip at 256 GB/s, a 2 MB L2 SRAM feeding the on-chip
+buffers over a 64 GB/s OCP-SRAM interface, and one shared ReCoN unit
+(design A of Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["AcceleratorConfig"]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Microarchitecture parameters of a MicroScopiQ accelerator instance."""
+
+    rows: int = 64
+    cols: int = 64
+    n_recon: int = 1
+    freq_ghz: float = 1.0
+    dram_gbps: float = 256.0  # HBM2
+    sram_gbps: float = 64.0  # OCP-SRAM interface L2 -> buffers
+    l2_kb: int = 2048
+    act_bits: int = 8
+    weight_buffer_kb: int = 256
+    act_buffer_kb: int = 128
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if self.cols & (self.cols - 1):
+            raise ValueError(f"cols must be a power of two for ReCoN, got {self.cols}")
+        if self.n_recon < 1:
+            raise ValueError("need at least one ReCoN unit")
+
+    @property
+    def dram_bits_per_cycle(self) -> float:
+        """Off-chip bandwidth in bits per clock cycle."""
+        return self.dram_gbps * 8.0 / self.freq_ghz
+
+    @property
+    def sram_bits_per_cycle(self) -> float:
+        """L2-to-buffer bandwidth in bits per clock cycle."""
+        return self.sram_gbps * 8.0 / self.freq_ghz
+
+    @property
+    def recon_stages(self) -> int:
+        """Pipeline depth of one ReCoN unit: log2(cols) + 1 stages."""
+        return self.cols.bit_length()  # log2(cols) + 1 for power-of-two cols
+
+    def with_(self, **kwargs) -> "AcceleratorConfig":
+        return replace(self, **kwargs)

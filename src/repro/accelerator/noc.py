@@ -1,0 +1,146 @@
+"""ReCoN: the Redistribution and Coordination NoC (paper §5.4, Fig. 7c).
+
+ReCoN is a multistage butterfly of {2-in, 2-out} switches, one column per PE
+column, ``log2(cols) + 1`` stages deep, time-multiplexed across PE rows. It
+receives a PE row's C-wide partial-sum vector — plain sums for inlier
+columns, ``(Res, iAcc)`` pairs for columns holding outlier halves — and
+produces the corrected vector:
+
+* **Pass** forwards both ports;
+* **Swap** crosses the ports; the pruned (vacated) column receives its own
+  iAcc — the pruned weight is 0, so that column's correct output is simply
+  its incoming partial sum;
+* **Merge** combines an Upper/Lower half pair:
+  ``out = (Res_u >> k) + (Res_l >> 2k) + sign*iAct + iAcc_u``
+  where ``k`` is the half's mantissa width — the shifts place the mantissa
+  halves after the binary point and ``sign*iAct`` restores the FP hidden
+  bit (paper's end-to-end example, Fig. 8).
+
+Routing is LSB-first bit-fixing: each Lower half walks toward its Upper
+half's column, one address bit per stage; two Lowers crossing the same
+switch position in the same stage is a path conflict (arbitrated over an
+extra cycle in hardware — values stay correct, the performance model
+charges the cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from .pe import OutlierHalfProduct
+
+__all__ = ["ReCoN", "ReconTrace", "merge_halves"]
+
+Port = Union[float, int, OutlierHalfProduct]
+
+
+def merge_halves(upper: OutlierHalfProduct, lower: OutlierHalfProduct) -> float:
+    """The Merge (||) operation of a ReCoN switch.
+
+    Shifts each half's product to its mantissa position, restores the FP
+    hidden bit via ``sign * iAct``, and accumulates the Upper's iAcc (the
+    Lower's iAcc belongs to the pruned column and is routed there instead).
+    """
+    if upper.kind != "upper" or lower.kind != "lower":
+        raise ValueError("merge expects an (upper, lower) pair")
+    k = upper.magnitude_bits
+    mantissa_sum = upper.res / 2.0**k + lower.res / 2.0 ** (2 * k)
+    hidden = upper.sign * upper.iact
+    return float(mantissa_sum + hidden + upper.iacc)
+
+
+@dataclass
+class ReconTrace:
+    """Per-traversal bookkeeping (consumed by tests and the perf model)."""
+
+    swaps: int = 0
+    merges: int = 0
+    passes: int = 0
+    path_conflicts: int = 0
+
+
+class ReCoN:
+    """Functional butterfly network over ``cols`` columns (power of two).
+
+    One :meth:`route` call models one pipelined traversal of a PE row's
+    output vector (a single cycle of occupancy once the pipeline is full).
+    """
+
+    def __init__(self, cols: int):
+        if cols < 2 or cols & (cols - 1):
+            raise ValueError(f"cols must be a power of two >= 2, got {cols}")
+        self.cols = cols
+
+    @property
+    def n_stages(self) -> int:
+        """Switch stages: log2(cols) routing + 1 output stage."""
+        return self.cols.bit_length()
+
+    def route(
+        self, ports: Sequence[Port], trace: ReconTrace | None = None
+    ) -> List[float]:
+        """Route one partial-sum vector; returns the corrected C-wide vector.
+
+        Upper/Lower halves are paired left-to-right, the order the per-μB
+        permutation list stores them in.
+        """
+        if len(ports) != self.cols:
+            raise ValueError(f"expected {self.cols} ports, got {len(ports)}")
+        trace = trace if trace is not None else ReconTrace()
+
+        uppers = [
+            c
+            for c, p in enumerate(ports)
+            if isinstance(p, OutlierHalfProduct) and p.kind == "upper"
+        ]
+        lowers = [
+            c
+            for c, p in enumerate(ports)
+            if isinstance(p, OutlierHalfProduct) and p.kind == "lower"
+        ]
+        if len(uppers) != len(lowers):
+            raise ValueError("unbalanced outlier halves at ReCoN input")
+        # Pair halves by the permutation-list entry id when provided,
+        # falling back to left-to-right order.
+        if all(ports[c].pair_id >= 0 for c in uppers + lowers):
+            up_by_id = {ports[c].pair_id: c for c in uppers}
+            try:
+                target: Dict[int, int] = {
+                    lo: up_by_id[ports[lo].pair_id] for lo in lowers
+                }
+            except KeyError:
+                raise ValueError("lower half without a matching upper pair_id")
+        else:
+            target = dict(zip(lowers, uppers))
+
+        # Bit-fixing walk, one address bit per stage, LSB first.
+        positions = {lo: lo for lo in lowers}
+        for s in range(self.cols.bit_length() - 1):
+            bit = 1 << s
+            occupied: Dict[int, int] = {}
+            for lo in lowers:
+                p = positions[lo]
+                if (p ^ target[lo]) & bit:
+                    p ^= bit
+                    trace.swaps += 1
+                if p in occupied:
+                    trace.path_conflicts += 1
+                occupied[p] = lo
+                positions[lo] = p
+
+        out: List[float] = [0.0] * self.cols
+        for c, p in enumerate(ports):
+            if not isinstance(p, OutlierHalfProduct):
+                out[c] = float(p)
+                trace.passes += 1
+        for lo, up in target.items():
+            lower = ports[lo]
+            upper = ports[up]
+            assert isinstance(lower, OutlierHalfProduct)
+            assert isinstance(upper, OutlierHalfProduct)
+            out[up] = merge_halves(upper, lower)
+            trace.merges += 1
+            # The pruned column forwards its own iAcc (injected on Swap).
+            out[lo] = float(lower.iacc)
+        return out

@@ -1,0 +1,138 @@
+"""Functional model of the multi-precision MicroScopiQ PE (paper §5.3, Fig. 7a).
+
+The PE is built from four 4-bit × 2-bit integer multipliers whose partial
+products are combined by shifters according to the MODE signal (Eq. 5):
+
+* ``MODE_4b``: one 4-bit weight × 8-bit iAct per cycle;
+* ``MODE_2b``: two independent 2-bit weights sharing the same iAct, doubling
+  throughput (the two weights come from adjacent output channels).
+
+The accumulate stage either adds the product into the incoming partial sum
+(inlier weights) or, when the PE holds an outlier *half*, concatenates
+(Res, iAcc) and offloads the accumulation to ReCoN (``Outlier_Present``).
+
+This model is bit-faithful for the multiplier tree: weights and activations
+are decomposed into the exact sub-fields the hardware multiplies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+__all__ = ["MODE_2B", "MODE_4B", "pe_multiply_4b", "pe_multiply_2b", "OutlierHalfProduct", "MultiPrecisionPE"]
+
+MODE_4B = "4b"
+MODE_2B = "2b"
+
+
+def _check_signed(value: int, bits: int, what: str) -> None:
+    lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{what} {value} out of {bits}-bit signed range [{lo}, {hi}]")
+
+
+def _split_iact(iact: int) -> Tuple[int, int]:
+    """Split an 8-bit signed iAct into (signed high nibble, unsigned low)."""
+    _check_signed(iact, 8, "iact")
+    a0 = iact & 0xF
+    a1 = (iact - a0) >> 4  # arithmetic: carries the sign
+    return a1, a0
+
+
+def pe_multiply_4b(weight: int, iact: int) -> int:
+    """4-bit signed weight × 8-bit signed iAct via four 4b×2b multipliers.
+
+    Weight splits into a signed top pair ``w1`` and unsigned bottom pair
+    ``w0`` (w = 4*w1 + w0); the four partial products recombine with shifts:
+    ``w*a = (a1*w1)<<6 + (a1*w0)<<4 + (a0*w1)<<2 + (a0*w0)``.
+    """
+    _check_signed(weight, 4, "weight")
+    w0 = weight & 0x3
+    w1 = (weight - w0) >> 2
+    a1, a0 = _split_iact(iact)
+    p11 = a1 * w1
+    p10 = a1 * w0
+    p01 = a0 * w1
+    p00 = a0 * w0
+    return (p11 << 6) + (p10 << 4) + (p01 << 2) + p00
+
+
+def pe_multiply_2b(w_hi: int, w_lo: int, iact: int) -> Tuple[int, int]:
+    """Two independent 2-bit signed weights × shared 8-bit iAct.
+
+    Each product uses two of the four sub-multipliers:
+    ``w*a = (a1*w)<<4 + (a0*w)``.
+    """
+    _check_signed(w_hi, 2, "w_hi")
+    _check_signed(w_lo, 2, "w_lo")
+    a1, a0 = _split_iact(iact)
+    res_hi = ((a1 * w_hi) << 4) + a0 * w_hi
+    res_lo = ((a1 * w_lo) << 4) + a0 * w_lo
+    return res_hi, res_lo
+
+
+@dataclass(frozen=True)
+class OutlierHalfProduct:
+    """The (Res, iAcc) pair a PE emits when it holds an outlier half.
+
+    ``kind`` is "upper" or "lower"; ``magnitude_bits`` is the number of
+    mantissa bits in this half (= bb - 1), which fixes the merge shift.
+    ``sign`` is the outlier's (duplicated) sign; ``iact`` rides along for
+    the hidden-bit correction in the ReCoN merge.
+    """
+
+    kind: str
+    res: int
+    iacc: float
+    sign: int
+    iact: int
+    magnitude_bits: int
+    # Which permutation-list entry this half belongs to (ReCoN pairs the
+    # halves of one outlier by this id; -1 = pair left-to-right).
+    pair_id: int = -1
+
+
+class MultiPrecisionPE:
+    """One PE: weight register(s) + MUL and ADD stages.
+
+    ``weights`` is a single int (MODE_4b) or a pair (MODE_2b). When
+    ``outlier_half`` is set the ADD stage offloads to ReCoN by emitting an
+    :class:`OutlierHalfProduct` instead of accumulating.
+    """
+
+    def __init__(
+        self,
+        weights: Union[int, Tuple[int, int]],
+        mode: str = MODE_4B,
+        outlier_half: Optional[str] = None,
+        outlier_sign: int = 1,
+    ):
+        if mode not in (MODE_2B, MODE_4B):
+            raise ValueError(f"mode must be '2b' or '4b', got {mode!r}")
+        if outlier_half not in (None, "upper", "lower"):
+            raise ValueError(f"bad outlier_half {outlier_half!r}")
+        self.mode = mode
+        self.weights = weights
+        self.outlier_half = outlier_half
+        self.outlier_sign = outlier_sign
+
+    def step(self, iact: int, iacc) -> object:
+        """One MAC cycle. Returns the accumulated partial sum, a pair of
+        them in MODE_2b, or an :class:`OutlierHalfProduct` for offload."""
+        if self.mode == MODE_4B:
+            res = pe_multiply_4b(int(self.weights), iact)
+            if self.outlier_half is None:
+                return iacc + res
+            # bb = 4: e3m4 mantissa splits into two 2-bit halves.
+            return OutlierHalfProduct(
+                self.outlier_half, res, iacc, self.outlier_sign, iact, 2
+            )
+        w_hi, w_lo = self.weights
+        res_hi, res_lo = pe_multiply_2b(int(w_hi), int(w_lo), iact)
+        if self.outlier_half is None:
+            acc_hi, acc_lo = iacc
+            return acc_hi + res_hi, acc_lo + res_lo
+        # In 2-bit mode an outlier half occupies one of the packed slots;
+        # the magnitude is 1 bit (bb - 1 = 1).
+        return OutlierHalfProduct(self.outlier_half, res_hi, iacc, self.outlier_sign, iact, 1)

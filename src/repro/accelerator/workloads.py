@@ -1,0 +1,86 @@
+"""Full-size FM geometries for hardware simulation.
+
+Accelerator experiments (Fig. 12/13, Table 6) depend only on layer
+*geometry* and outlier statistics, not on trained weights, so the hardware
+simulator uses the real published model shapes (these are the true
+LLaMA/OPT/Phi dimensions, not the scaled-down accuracy substrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapping import LayerSpec
+
+__all__ = ["ModelGeometry", "GEOMETRIES", "layer_specs"]
+
+
+@dataclass(frozen=True)
+class ModelGeometry:
+    """Transformer shape parameters of one evaluation model."""
+
+    name: str
+    d_model: int
+    n_layers: int
+    d_ff: int
+    d_kv: int  # KV projection width (GQA models have d_kv < d_model)
+    vocab: int
+    outlier_fraction: float  # per-weight outlier rate (drives ReCoN demand)
+
+    @property
+    def quantized_params(self) -> int:
+        per_block = (
+            2 * self.d_model * self.d_model  # wq, wo
+            + 2 * self.d_kv * self.d_model  # wk, wv
+            + 3 * self.d_model * self.d_ff  # w1, w3, w2
+        )
+        return per_block * self.n_layers
+
+
+GEOMETRIES: dict[str, ModelGeometry] = {
+    g.name: g
+    for g in [
+        ModelGeometry("opt-6.7b", 4096, 32, 16384, 4096, 50272, 0.008),
+        ModelGeometry("llama2-7b", 4096, 32, 11008, 4096, 32000, 0.010),
+        ModelGeometry("llama2-13b", 5120, 40, 13824, 5120, 32000, 0.011),
+        ModelGeometry("llama2-70b", 8192, 80, 28672, 1024, 32000, 0.012),
+        ModelGeometry("llama3-8b", 4096, 32, 14336, 1024, 128256, 0.014),
+        ModelGeometry("phi3-3.8b", 3072, 32, 8192, 3072, 32064, 0.009),
+        ModelGeometry("vila-7b", 4096, 32, 11008, 4096, 32000, 0.016),
+        ModelGeometry("llava1.5-7b", 4096, 32, 11008, 4096, 32000, 0.015),
+    ]
+}
+
+
+def layer_specs(
+    geom: ModelGeometry,
+    bit_budget: int = 2,
+    outlier_fraction: float | None = None,
+    micro_block: int = 8,
+    ebw: float | None = None,
+) -> list[LayerSpec]:
+    """Per-block linear layers of a model, with counts (one spec per shape)."""
+    frac = geom.outlier_fraction if outlier_fraction is None else outlier_fraction
+    d, ff, kv, n = geom.d_model, geom.d_ff, geom.d_kv, geom.n_layers
+    shapes = [
+        ("wq", d, d, 1),
+        ("wk", kv, d, 1),
+        ("wv", kv, d, 1),
+        ("wo", d, d, 1),
+        ("w1", ff, d, 1),
+        ("w3", ff, d, 1),
+        ("w2", d, ff, 1),
+    ]
+    return [
+        LayerSpec.synthetic(
+            f"{geom.name}.{nm}",
+            d_out,
+            d_in,
+            bit_budget=bit_budget,
+            outlier_fraction=frac,
+            micro_block=micro_block,
+            count=cnt * n,
+            ebw=ebw,
+        )
+        for nm, d_out, d_in, cnt in shapes
+    ]

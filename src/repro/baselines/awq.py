@@ -1,0 +1,47 @@
+"""AWQ [Lin et al. 2024]: activation-aware per-channel scaling + RTN.
+
+AWQ protects salient weights by scaling input channels with
+``s_j = actmax_j^α`` before RTN, then folding ``1/s`` back. The migration
+exponent α is grid-searched against the layer-output error on the
+calibration set — exactly AWQ's search, minus the CUDA kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaselineResult, rtn_group_quantize
+
+__all__ = ["quantize_awq"]
+
+_ALPHA_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def quantize_awq(
+    weights: np.ndarray,
+    calib_inputs: np.ndarray | None = None,
+    bits: int = 4,
+    group_size: int = 128,
+) -> BaselineResult:
+    """AWQ weight-only quantization. Without calibration, degrades to RTN."""
+    w = np.asarray(weights, dtype=np.float64)
+    if calib_inputs is None:
+        dq = rtn_group_quantize(w, bits, group_size)
+        return BaselineResult("awq", dq, float(bits), {"alpha": 0.0})
+
+    x = np.asarray(calib_inputs, dtype=np.float64)
+    act_max = np.max(np.abs(x), axis=0)
+    act_max = np.where(act_max == 0.0, 1.0, act_max)
+    ref = x @ w.T
+    ref_norm = max(float(np.linalg.norm(ref)), 1e-12)
+
+    best = None
+    for alpha in _ALPHA_GRID:
+        s = act_max**alpha
+        s = np.where(s == 0.0, 1.0, s)
+        dq = rtn_group_quantize(w * s[None, :], bits, group_size) / s[None, :]
+        err = float(np.linalg.norm(x @ dq.T - ref)) / ref_norm
+        if best is None or err < best[0]:
+            best = (err, alpha, dq)
+    err, alpha, dq = best
+    return BaselineResult("awq", dq, float(bits), {"alpha": alpha, "search_err": err})

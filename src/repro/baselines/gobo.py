@@ -1,0 +1,70 @@
+"""GOBO [Zadeh et al. 2020]: centroid inliers + full-precision sparse outliers.
+
+GOBO clusters inlier weights of a layer into ``2**bits`` centroids
+(dictionary quantization) and stores every 3σ outlier *exactly* (FP32) in a
+sparse side structure. Accuracy is excellent; the cost is a huge effective
+bit-width and unaligned sparse accesses — exactly the Group-A trade-off of
+Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.ebw import gobo_ebw
+from ..quant.outliers import outlier_mask
+from .base import BaselineResult
+
+__all__ = ["quantize_gobo"]
+
+
+def _kmeans_1d(values: np.ndarray, k: int, iters: int = 0) -> np.ndarray:
+    """Lightweight 1-D Lloyd's k-means with quantile initialization."""
+    if values.size == 0:
+        return np.zeros(k)
+    qs = np.linspace(0.0, 1.0, k + 2)[1:-1]
+    centroids = np.quantile(values, qs)
+    for _ in range(iters):
+        idx = np.argmin(np.abs(values[:, None] - centroids[None, :]), axis=1)
+        for c in range(k):
+            members = values[idx == c]
+            if members.size:
+                centroids[c] = members.mean()
+    return np.sort(centroids)
+
+
+def quantize_gobo(
+    weights: np.ndarray,
+    calib_inputs: np.ndarray | None = None,
+    bits: int = 4,
+    sigma_threshold: float = 3.0,
+    sample_limit: int = 65536,
+    kmeans_iters: int = 0,
+) -> BaselineResult:
+    """GOBO quantization (ignores calibration data; clustering is per layer).
+
+    ``kmeans_iters=0`` reproduces GOBO's deterministic probability-mass
+    binning (centroids at inlier quantiles); positive values refine with
+    Lloyd iterations (stronger than the published method).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    omask = outlier_mask(w, sigma_threshold, axis=None)
+    inliers = w[~omask]
+    rng = np.random.default_rng(0)
+    sample = inliers
+    if inliers.size > sample_limit:
+        sample = rng.choice(inliers.ravel(), size=sample_limit, replace=False)
+    centroids = _kmeans_1d(
+        np.asarray(sample, dtype=np.float64).ravel(), 2**bits, iters=kmeans_iters
+    )
+
+    dq = w.copy()  # outliers stored exactly
+    flat = w[~omask]
+    idx = np.argmin(np.abs(flat[:, None] - centroids[None, :]), axis=1)
+    dq[~omask] = centroids[idx]
+
+    frac = float(omask.mean())
+    ebw = gobo_ebw(frac, inlier_bits=bits)
+    return BaselineResult(
+        "gobo", dq, ebw, {"outlier_fraction": frac, "centroids": centroids}
+    )

@@ -1,0 +1,71 @@
+"""GPTQ [Frantar et al. 2022]: RTN + sequential OBS error compensation.
+
+Columns quantize left-to-right; each column's rounding error is pushed onto
+not-yet-quantized columns via the inverse-Hessian Cholesky factor. Group
+scales (float, per 128 columns) are recomputed from the *updated* weights at
+each group boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quant.hessian import cholesky_inverse_factor, layer_hessian
+from .base import BaselineResult, group_float_scale
+
+__all__ = ["quantize_gptq", "gptq_core"]
+
+
+def gptq_core(
+    weights: np.ndarray,
+    hessian: np.ndarray,
+    bits_per_col: np.ndarray,
+    group_size: int = 128,
+    clip_ratio: float = 1.0,
+) -> np.ndarray:
+    """Column-sequential GPTQ supporting a per-column bit-width.
+
+    ``bits_per_col [d_in]`` lets Atom-style mixed-precision reuse the same
+    engine (outlier channels at 8 bits, the rest at 4).
+    """
+    w = np.array(weights, dtype=np.float64)
+    d_out, d_in = w.shape
+    u = cholesky_inverse_factor(hessian)
+    q = np.zeros_like(w)
+    scale = None
+    group_bits = None
+    for p in range(d_in):
+        if p % group_size == 0:
+            hi = min(p + group_size, d_in)
+            group_bits = int(bits_per_col[p])
+            scale = group_float_scale(w[:, p:hi], group_bits, clip_ratio)[:, 0]
+        bits = int(bits_per_col[p])
+        maxq = 2 ** (bits - 1) - 1
+        # A column with more bits than the group reference keeps the group
+        # scale but uses its own wider clip range.
+        col_scale = scale * (2 ** (group_bits - 1) - 1) / maxq if bits != group_bits else scale
+        qc = np.clip(np.rint(w[:, p] / col_scale), -maxq, maxq) * col_scale
+        q[:, p] = qc
+        err = (w[:, p] - qc) / u[p, p]
+        if p + 1 < d_in:
+            w[:, p + 1 :] -= np.outer(err, u[p, p + 1 :])
+    return q
+
+
+def quantize_gptq(
+    weights: np.ndarray,
+    calib_inputs: np.ndarray | None = None,
+    bits: int = 4,
+    group_size: int = 128,
+    damp_ratio: float = 0.01,
+) -> BaselineResult:
+    """Uniform-precision GPTQ. Falls back to RTN math if no calibration."""
+    w = np.asarray(weights, dtype=np.float64)
+    d_in = w.shape[1]
+    if calib_inputs is None:
+        hessian = np.eye(d_in)
+    else:
+        hessian = layer_hessian(calib_inputs, damp_ratio)
+    bits_per_col = np.full(d_in, bits, dtype=np.int32)
+    dq = gptq_core(w, hessian, bits_per_col, group_size)
+    return BaselineResult("gptq", dq, float(bits), {"group_size": group_size})

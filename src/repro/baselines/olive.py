@@ -1,0 +1,82 @@
+"""OliVe [Guo et al. 2023]: outlier-victim pair quantization.
+
+OliVe keeps memory aligned by quantizing outliers *in place* at the same
+bit-width as inliers but in the wide-range "abfloat" format; the element
+**adjacent** to each outlier is sacrificed ("victim") — pruned to zero and
+reused as the format identifier. The paper's §3.2 critique is reproduced
+faithfully: when two outliers are adjacent, the second one becomes the
+victim and is destroyed, which is what craters OliVe's accuracy on modern
+FMs with >0.5% adjacent outliers.
+
+Abfloat: sign + exponent with a per-group adaptive bias,
+``value = ±2^(e + bias)``; 4-bit gives e ∈ [0, 7].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quant.outliers import outlier_mask
+from .base import BaselineResult, group_float_scale
+
+__all__ = ["quantize_olive"]
+
+
+def _abfloat_encode(values: np.ndarray, bits: int) -> np.ndarray:
+    """Round magnitudes to signed powers of two with an adaptive bias."""
+    e_levels = 2 ** (bits - 1)  # exponent values per sign
+    mag = np.abs(values)
+    vmax = float(mag.max())
+    if vmax == 0.0:
+        return np.zeros_like(values)
+    bias = int(np.floor(np.log2(vmax))) - (e_levels - 1)
+    with np.errstate(divide="ignore"):
+        e = np.rint(np.log2(np.where(mag == 0.0, 1e-30, mag))) - bias
+    e = np.clip(e, 0, e_levels - 1)
+    return np.sign(values) * 2.0 ** (e + bias)
+
+
+def quantize_olive(
+    weights: np.ndarray,
+    calib_inputs: np.ndarray | None = None,
+    bits: int = 4,
+    group_size: int = 128,
+    sigma_threshold: float = 3.0,
+) -> BaselineResult:
+    """OliVe outlier-victim-pair quantization (ignores calibration data)."""
+    w = np.asarray(weights, dtype=np.float64)
+    d_out, d_in = w.shape
+    maxq = 2 ** (bits - 1) - 1
+    dq = np.empty_like(w)
+    n_victim_outliers = 0
+
+    for g in range(0, d_in, group_size):
+        sl = slice(g, min(g + group_size, d_in))
+        block = w[:, sl]
+        omask = outlier_mask(block, sigma_threshold, axis=-1)
+        scale = group_float_scale(np.where(omask, 0.0, block), bits)
+        q = np.clip(np.rint(block / scale), -maxq, maxq) * scale
+
+        for r in range(d_out):
+            cols = np.nonzero(omask[r])[0]
+            victims: set[int] = set()
+            for c in cols:
+                if c in victims:
+                    continue  # this outlier was already destroyed as a victim
+                q[r, c] = _abfloat_encode(block[r, c : c + 1], bits)[0]
+                # The adjacent slot becomes the identifier: prune it — even
+                # if it is itself an outlier (OliVe's locality assumption).
+                victim = c + 1 if c + 1 < block.shape[1] else c - 1
+                if victim >= 0:
+                    if omask[r, victim]:
+                        n_victim_outliers += 1
+                    q[r, victim] = 0.0
+                    victims.add(victim)
+        dq[:, sl] = q
+
+    return BaselineResult(
+        "olive",
+        dq,
+        float(bits),
+        {"victim_outliers": n_victim_outliers, "group_size": group_size},
+    )

@@ -1,0 +1,41 @@
+"""Name → quantizer registry used by the evaluation harness and benches."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .atom import quantize_atom
+from .awq import quantize_awq
+from .gobo import quantize_gobo
+from .gptq import quantize_gptq
+from .microscopiq_adapter import quantize_microscopiq_baseline, quantize_omni_microscopiq
+from .olive import quantize_olive
+from .omniquant import quantize_omniquant
+from .rtn import quantize_rtn
+from .sdq import quantize_sdq
+from .smoothquant import quantize_smoothquant
+
+__all__ = ["QUANTIZERS", "get_quantizer"]
+
+QUANTIZERS: Dict[str, Callable] = {
+    "rtn": quantize_rtn,
+    "gptq": quantize_gptq,
+    "awq": quantize_awq,
+    "smoothquant": quantize_smoothquant,
+    "omniquant": quantize_omniquant,
+    "atom": quantize_atom,
+    "sdq": quantize_sdq,
+    "olive": quantize_olive,
+    "gobo": quantize_gobo,
+    "microscopiq": quantize_microscopiq_baseline,
+    "omni-microscopiq": quantize_omni_microscopiq,
+}
+
+
+def get_quantizer(name: str) -> Callable:
+    """Look up a quantizer by name; raises with the known list on miss."""
+    try:
+        return QUANTIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(QUANTIZERS))
+        raise KeyError(f"unknown quantizer {name!r}; known: {known}") from None

@@ -1,0 +1,20 @@
+"""Round-to-nearest (RTN) group quantization — the no-frills baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaselineResult, rtn_group_quantize
+
+__all__ = ["quantize_rtn"]
+
+
+def quantize_rtn(
+    weights: np.ndarray,
+    calib_inputs: np.ndarray | None = None,
+    bits: int = 4,
+    group_size: int = 128,
+) -> BaselineResult:
+    """Symmetric per-group RTN with a float scale. Ignores calibration data."""
+    dq = rtn_group_quantize(weights, bits, group_size)
+    return BaselineResult("rtn", dq, float(bits), {"group_size": group_size})

@@ -1,0 +1,38 @@
+"""Public API of the MicroScopiQ reproduction.
+
+The paper's primary contribution — outlier-aware microscaling quantization
+with pruning-based bit redistribution — is exposed here:
+
+* :class:`MicroScopiQConfig` / :func:`quantize_matrix` — quantize one
+  weight matrix (Algorithm 1);
+* :class:`PackedLayer` — the quantized representation (code grid + MXScale
+  + permutation lists) with dequantization and EBW accounting;
+* :func:`quantize_model` — whole-model PTQ over any substrate implementing
+  the linear-layer protocol;
+* the accelerator co-design lives in :mod:`repro.accelerator`, the GPU
+  cost model in :mod:`repro.gpu`.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import MicroScopiQConfig, quantize_matrix
+
+    w = np.random.randn(256, 512) * 0.02
+    x = np.random.randn(128, 512)
+    packed = quantize_matrix(w, x, MicroScopiQConfig(inlier_bits=2))
+    print(packed.ebw(), packed.reconstruction_error(w, x))
+"""
+
+from ..eval.harness import QuantizationReport, quantize_model
+from ..quant.config import MicroScopiQConfig
+from ..quant.microscopiq import quantize_matrix, quantize_microscopiq
+from ..quant.packed import PackedLayer
+
+__all__ = [
+    "MicroScopiQConfig",
+    "PackedLayer",
+    "QuantizationReport",
+    "quantize_matrix",
+    "quantize_microscopiq",
+    "quantize_model",
+]

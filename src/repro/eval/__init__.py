@@ -1,0 +1,19 @@
+"""Evaluation: corpora, perplexity, tasks, and the quantization harness."""
+
+from .corpus import calibration_tokens, eval_corpus
+from .harness import QuantizationReport, quantize_model
+from .perplexity import nll, perplexity
+from .tasks import LM_TASKS, TaskSpec, task_accuracy, task_labels
+
+__all__ = [
+    "LM_TASKS",
+    "QuantizationReport",
+    "TaskSpec",
+    "calibration_tokens",
+    "eval_corpus",
+    "nll",
+    "perplexity",
+    "quantize_model",
+    "task_accuracy",
+    "task_labels",
+]

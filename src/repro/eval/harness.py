@@ -1,0 +1,92 @@
+"""Model-level quantization driver.
+
+``quantize_model`` walks every linear layer of a :class:`TransformerLM`,
+collects that layer's calibration activations (from the *progressively
+quantized* model, as GPTQ-style pipelines do: layer ``l`` calibrates on the
+outputs of already-quantized layers ``< l``), quantizes with the requested
+method, and installs the dequantized override plus activation fake-quantizer
+when a weight-activation setting is requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..baselines.registry import get_quantizer
+from ..models.transformer import TransformerLM
+from ..quant.activation import ActivationQuantizer
+from .corpus import calibration_tokens
+
+__all__ = ["QuantizationReport", "quantize_model"]
+
+# Methods whose signature accepts act_bits (they manage their own migration).
+_ACT_AWARE = {"smoothquant", "omniquant", "atom", "microscopiq", "omni-microscopiq"}
+
+
+@dataclass
+class QuantizationReport:
+    """What happened when a model was quantized."""
+
+    method: str
+    w_bits: int
+    act_bits: Optional[int]
+    layer_ebw: Dict[str, float] = field(default_factory=dict)
+    layer_meta: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def mean_ebw(self) -> float:
+        vals = list(self.layer_ebw.values())
+        return float(np.mean(vals)) if vals else 0.0
+
+
+def quantize_model(
+    model,
+    method: str,
+    w_bits: int,
+    act_bits: Optional[int] = None,
+    calib=None,
+    **quantizer_kwargs,
+) -> QuantizationReport:
+    """Quantize every linear of ``model`` in place (via overrides).
+
+    ``model`` is anything implementing the quantization protocol
+    (``linear_names``, ``weights``, ``collect_calibration``,
+    ``set_override``, ``act_quant``, ``clear_overrides``) — the
+    transformer LM, VLM, CNN, and SSM substrates all do. Re-entrant:
+    clears any previous overrides first. For LMs, ``calib`` defaults to
+    the family's standard calibration token set; other substrates must
+    pass their own calibration inputs.
+    """
+    model.clear_overrides()
+    quantizer = get_quantizer(method)
+    if calib is None:
+        if not isinstance(model, TransformerLM):
+            raise ValueError(
+                f"{type(model).__name__} has no default calibration set; pass calib="
+            )
+        calib = calibration_tokens(model)
+    report = QuantizationReport(method, w_bits, act_bits)
+
+    for name in model.linear_names:
+        # Calibration activations reflect already-installed overrides of
+        # earlier layers (sequential PTQ).
+        acts = model.collect_calibration(calib)[name]
+        w = model.weights[name]
+        kwargs = dict(quantizer_kwargs)
+        if act_bits is not None and method in _ACT_AWARE:
+            kwargs["act_bits"] = act_bits
+        result = quantizer(w, acts, bits=w_bits, **kwargs)
+        model.set_override(name, result.dequant)
+        act_q = result.meta.get("act_quantizer")
+        if act_bits is not None and act_q is None:
+            act_q = ActivationQuantizer(None, act_bits)
+        if act_q is not None:
+            model.act_quant[name] = act_q
+        report.layer_ebw[name] = result.ebw
+        report.layer_meta[name] = {
+            k: v for k, v in result.meta.items() if isinstance(v, (int, float, str))
+        }
+    return report

@@ -1,0 +1,25 @@
+"""Teacher-forced perplexity evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.transformer import TransformerLM
+
+__all__ = ["perplexity", "nll"]
+
+
+def nll(model: TransformerLM, tokens: np.ndarray) -> float:
+    """Mean negative log-likelihood per predicted token."""
+    tokens = np.atleast_2d(tokens)
+    logits = model.forward(tokens[:, :-1])
+    targets = tokens[:, 1:]
+    m = np.max(logits, axis=-1, keepdims=True)
+    logz = m[..., 0] + np.log(np.sum(np.exp(logits - m), axis=-1))
+    tgt_logit = np.take_along_axis(logits, targets[..., None], axis=-1)[..., 0]
+    return float(np.mean(logz - tgt_logit))
+
+
+def perplexity(model: TransformerLM, tokens: np.ndarray) -> float:
+    """``exp(mean NLL)`` — the paper's PPL metric (lower is better)."""
+    return float(np.exp(nll(model, tokens)))

@@ -1,0 +1,80 @@
+"""Synthetic zero-shot benchmark tasks (the BoolQ/PIQA/... analogs).
+
+Each task asks the model to rank a small set of candidate next tokens after
+a prompt. Candidates are chosen among the full-precision model's
+moderately-ranked tokens so the FP margins are small — which is what makes
+the task *sensitive* to quantization noise, like real zero-shot benchmarks.
+The FP model scores 100% by construction; a quantized model's score is its
+agreement with the FP ranking, the "accuracy relative to baseline" shape
+that Fig. 2(b) and Table 3 compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.transformer import TransformerLM
+
+__all__ = ["TaskSpec", "LM_TASKS", "task_labels", "task_accuracy"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A synthetic ranking task."""
+
+    name: str
+    paper_task: str
+    n_choices: int
+    n_examples: int = 96
+    prompt_len: int = 16
+    # Candidate tokens are the FP model's tokens at these ranks; the label
+    # is always the best-ranked one. Closer ranks = harder task.
+    base_rank: int = 3
+    rank_step: int = 5
+    seed: int = 0
+
+
+LM_TASKS: dict[str, TaskSpec] = {
+    t.name: t
+    for t in [
+        TaskSpec("boolq", "BoolQ", 2, seed=11),
+        TaskSpec("piqa", "PIQA", 2, seed=12),
+        TaskSpec("hellaswag", "HellaSwag", 4, seed=13),
+        TaskSpec("arc-c", "ARC-c", 4, seed=14, base_rank=2, rank_step=4),
+        TaskSpec("mmlu", "MMLU", 4, seed=15, base_rank=2, rank_step=3),
+        TaskSpec("winogrande", "WinoGrande", 2, seed=16, base_rank=2, rank_step=3),
+    ]
+}
+
+
+def _prompts(task: TaskSpec, vocab: int, model_seed: int) -> np.ndarray:
+    rng = np.random.default_rng(task.seed * 1000 + model_seed)
+    return rng.integers(0, vocab, size=(task.n_examples, task.prompt_len))
+
+
+def task_labels(fp_model: TransformerLM, task: TaskSpec) -> tuple[np.ndarray, np.ndarray]:
+    """(prompts, candidate token ids) with column 0 the FP-correct choice.
+
+    Must be called on the model *before* quantization overrides are
+    installed (the FP reference defines the ground truth).
+    """
+    if fp_model.overrides:
+        raise RuntimeError("task_labels must be computed on the full-precision model")
+    prompts = _prompts(task, fp_model.profile.vocab, fp_model.profile.seed)
+    logits = fp_model.forward(prompts)[:, -1, :]
+    order = np.argsort(-logits, axis=-1)
+    ranks = [task.base_rank + i * task.rank_step for i in range(task.n_choices)]
+    candidates = order[:, ranks]
+    return prompts, candidates
+
+
+def task_accuracy(
+    model: TransformerLM, prompts: np.ndarray, candidates: np.ndarray
+) -> float:
+    """Percent of examples where the model ranks candidate 0 highest."""
+    logits = model.forward(prompts)[:, -1, :]
+    cand_logits = np.take_along_axis(logits, candidates, axis=-1)
+    pred = np.argmax(cand_logits, axis=-1)
+    return 100.0 * float(np.mean(pred == 0))

@@ -1,0 +1,52 @@
+"""Number formats: symmetric INT, minifloat grids, and MX block formats."""
+
+from .ebw import (
+    MXSCALE_BITS,
+    ebw_inlier,
+    ebw_outlier,
+    gobo_ebw,
+    microscopiq_ebw,
+    perm_list_bits,
+)
+from .fp import E1M2, E3M4, FPFormat, quantize_to_grid
+from .mx import (
+    MxFpResult,
+    MxIntResult,
+    outlier_format_for_bits,
+    quantize_mx_fp,
+    quantize_mx_fp_group,
+    quantize_mx_int,
+)
+from .scalar import (
+    dequantize_int,
+    int_max,
+    pow2_scale_exponent,
+    quantize_dequantize_int,
+    quantize_int,
+    symmetric_scale,
+)
+
+__all__ = [
+    "MXSCALE_BITS",
+    "E1M2",
+    "E3M4",
+    "FPFormat",
+    "MxFpResult",
+    "MxIntResult",
+    "dequantize_int",
+    "ebw_inlier",
+    "ebw_outlier",
+    "gobo_ebw",
+    "int_max",
+    "microscopiq_ebw",
+    "outlier_format_for_bits",
+    "perm_list_bits",
+    "pow2_scale_exponent",
+    "quantize_dequantize_int",
+    "quantize_int",
+    "quantize_mx_fp",
+    "quantize_mx_fp_group",
+    "quantize_mx_int",
+    "quantize_to_grid",
+    "symmetric_scale",
+]

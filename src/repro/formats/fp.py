@@ -1,0 +1,87 @@
+"""Minifloat (FP) grids used by the MX-FP outlier format.
+
+The paper quantizes outliers to the ``e1m2`` (4-bit) or ``e3m4`` (8-bit)
+floating-point element formats of the MX specification [Rouhani et al. 2023].
+A minifloat value is ``(-1)^s * 1.m * 2^e`` (normal numbers with an implicit
+hidden bit); we also admit the ``0`` encoding.
+
+These grids are used in two ways:
+
+* free-exponent quantization: each element independently picks the nearest
+  representable value (used to *measure* what a plain MX-FP quantizer does);
+* shared-exponent quantization (:mod:`repro.formats.mx`): one microexponent
+  (the paper's ``μX``) is shared by the whole micro-block, which reduces each
+  element to a sign + mantissa pair that integer PEs can process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["FPFormat", "E1M2", "E3M4", "quantize_to_grid"]
+
+
+@dataclass(frozen=True)
+class FPFormat:
+    """A sign + exponent + mantissa minifloat element format."""
+
+    name: str
+    exp_bits: int
+    man_bits: int
+
+    @property
+    def bits(self) -> int:
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def exp_levels(self) -> int:
+        return 2**self.exp_bits
+
+    @property
+    def man_levels(self) -> int:
+        return 2**self.man_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable magnitude (exponent at max, mantissa full)."""
+        max_exp = self.exp_levels - 1
+        max_man = 1.0 + (self.man_levels - 1) / self.man_levels
+        return max_man * 2.0**max_exp
+
+    def grid(self) -> np.ndarray:
+        """All non-negative representable magnitudes, ascending, incl. 0."""
+        return _grid_cached(self.exp_bits, self.man_bits)
+
+    def mantissa_grid(self) -> np.ndarray:
+        """Representable significands ``1.m`` for a fixed (shared) exponent."""
+        return 1.0 + np.arange(self.man_levels) / self.man_levels
+
+
+@lru_cache(maxsize=None)
+def _grid_cached(exp_bits: int, man_bits: int) -> np.ndarray:
+    exps = np.arange(2**exp_bits)
+    mans = 1.0 + np.arange(2**man_bits) / 2**man_bits
+    vals = (mans[None, :] * 2.0 ** exps[:, None]).ravel()
+    return np.unique(np.concatenate([[0.0], vals]))
+
+
+E1M2 = FPFormat("e1m2", exp_bits=1, man_bits=2)
+E3M4 = FPFormat("e3m4", exp_bits=3, man_bits=4)
+
+
+def quantize_to_grid(x: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Map each element of ``x`` to the nearest grid magnitude, keeping sign.
+
+    ``grid`` must be sorted ascending and non-negative. Ties round toward the
+    smaller magnitude (the index returned by ``searchsorted``).
+    """
+    mag = np.abs(x)
+    idx = np.searchsorted(grid, mag)
+    idx = np.clip(idx, 1, len(grid) - 1)
+    lo = grid[idx - 1]
+    hi = grid[idx]
+    nearest = np.where(mag - lo <= hi - mag, lo, hi)
+    return np.sign(x) * nearest

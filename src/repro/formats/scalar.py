@@ -1,0 +1,80 @@
+"""Scalar symmetric integer quantization primitives.
+
+Implements Equations (1) and (2) of the paper: a symmetric (zero-point = 0)
+quantizer maps a tensor ``X`` to integers via a scale factor
+
+    s = max(|X|) / max_b                                  (Eq. 1)
+    Q(X, s, b) = clip(round(X / s), -max_b, max_b)        (Eq. 2)
+
+where ``max_b = 2**(b-1) - 1`` is the largest representable magnitude of a
+``b``-bit two's complement integer restricted to a symmetric range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "int_max",
+    "symmetric_scale",
+    "quantize_int",
+    "dequantize_int",
+    "quantize_dequantize_int",
+    "pow2_scale_exponent",
+]
+
+
+def int_max(bits: int) -> int:
+    """Largest magnitude representable by a symmetric ``bits``-bit integer.
+
+    For 2 bits this is 1 (codes {-1, 0, 1}), for 4 bits it is 7, for
+    8 bits it is 127.
+    """
+    if bits < 2:
+        raise ValueError(f"need at least 2 bits for a signed integer, got {bits}")
+    return 2 ** (bits - 1) - 1
+
+
+def symmetric_scale(x: np.ndarray, bits: int, axis=None) -> np.ndarray:
+    """Scale factor per Eq. 1: ``max(|x|) / int_max(bits)``.
+
+    ``axis`` selects the reduction axis (None = whole tensor). Zero inputs
+    produce a scale of 1.0 so that quantization maps them to 0 without
+    dividing by zero.
+    """
+    amax = np.max(np.abs(x), axis=axis, keepdims=axis is not None)
+    scale = amax / int_max(bits)
+    return np.where(scale == 0.0, 1.0, scale)
+
+
+def pow2_scale_exponent(x: np.ndarray, bits: int, axis=None) -> np.ndarray:
+    """Power-of-two scale exponent (the paper's 8-bit ``2**Isf`` factors).
+
+    Returns the smallest integer exponent ``e`` such that
+    ``max(|x|) / 2**e <= int_max(bits)``; equivalently
+    ``e = ceil(log2(max(|x|) / int_max(bits)))``. The resulting exponent is
+    clipped to the signed 8-bit range [-127, 127] (an E8M0 scale).
+    """
+    amax = np.max(np.abs(x), axis=axis, keepdims=axis is not None)
+    safe = np.where(amax == 0.0, 1.0, amax)
+    exp = np.ceil(np.log2(safe / int_max(bits)))
+    exp = np.where(amax == 0.0, 0.0, exp)
+    return np.clip(exp, -127, 127).astype(np.int32)
+
+
+def quantize_int(x: np.ndarray, scale: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize to integer codes per Eq. 2 (round-to-nearest-even)."""
+    q = np.rint(x / scale)
+    m = int_max(bits)
+    return np.clip(q, -m, m).astype(np.int32)
+
+
+def dequantize_int(codes: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Reconstruct real values from integer codes."""
+    return codes.astype(np.float64) * scale
+
+
+def quantize_dequantize_int(x: np.ndarray, bits: int, axis=None) -> np.ndarray:
+    """Round-trip helper: quantize with a symmetric scale, reconstruct."""
+    scale = symmetric_scale(x, bits, axis=axis)
+    return dequantize_int(quantize_int(x, scale, bits), scale)

@@ -1,0 +1,11 @@
+"""GPU execution models: A100 kernel cost model and tensor-core variants."""
+
+from .cost_model import (
+    A100,
+    GPU_METHODS,
+    GpuSpec,
+    decode_step_ms,
+    token_throughput,
+)
+
+__all__ = ["A100", "GPU_METHODS", "GpuSpec", "decode_step_ms", "token_throughput"]

@@ -1,0 +1,122 @@
+"""A100 GPU kernel cost model (paper §6, Table 6, Fig. 13).
+
+Token-generation on a GPU is modeled as, per decode step,
+
+    t = max(weight_traffic / HBM_bw, compute / tensor_core_rate) + overheads
+
+with method-specific weight footprints, compute formats, and kernel
+overheads:
+
+* **TRT-LLM FP16** — 16-bit weights, FP16 tensor cores;
+* **Atom W4A4** — 4-bit weights + 8-bit outlier channels, INT4 tensor
+  cores, fused dequant (small overhead);
+* **MicroScopiQ no-optim** — EBW-packed weights, but outlier merging in
+  shared memory and FP16 GEMM everywhere (mixed INT+FP tiles cannot use
+  INT tensor cores) — the overhead that makes it *slower* than FP16;
+* **MicroScopiQ optim** — register-cached ``shfl_sync`` merging; inlier-only
+  tiles (the vast majority) run on INT4 tensor cores, mixed tiles
+  dequantize to FP16;
+* **MicroScopiQ + modified tensor core** — the §6.2 hardware change: a
+  variable right-shifter in the FEDP lets INT+FP tiles run at INT4 rate
+  with no dequantization.
+
+The unquantized embedding/LM head (FP16) is charged to every method, which
+is what compresses LLaMA-3-8B's gains relative to LLaMA-2-13B (128K-entry
+vocabulary) in Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accelerator.workloads import GEOMETRIES, ModelGeometry
+
+__all__ = ["GpuSpec", "A100", "decode_step_ms", "token_throughput", "GPU_METHODS"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """GPU capability envelope."""
+
+    name: str
+    hbm_gbps: float
+    fp16_tflops: float
+    int4_tops: float
+    int8_tops: float
+    # Fixed per-kernel-launch overhead per transformer block (µs): captures
+    # launch latency, attention, norms — identical across weight formats.
+    block_overhead_us: float = 6.0
+
+
+A100 = GpuSpec("a100", hbm_gbps=2039.0, fp16_tflops=312.0, int4_tops=1248.0, int8_tops=624.0)
+
+
+@dataclass(frozen=True)
+class GpuMethod:
+    """How one quantization method executes on the GPU."""
+
+    name: str
+    weight_bits: float  # effective stored bits per quantized weight
+    compute: str  # "fp16", "int4", "mixed", "mtc"
+    # Extra per-block time as a fraction of the GEMM time (fused dequant,
+    # activation quantization, register shuffles).
+    overhead_frac: float
+    mixed_tile_fraction: float = 0.0  # tiles containing outliers (FP16 path)
+    # Bits per weight staged through shared memory *serially* (not
+    # overlapped with the GEMM): the no-optim kernel materializes merged
+    # FP16 tiles there, which is what erases its bandwidth win.
+    smem_bits_per_weight: float = 0.0
+
+
+GPU_METHODS: dict[str, GpuMethod] = {
+    "trtllm-fp16": GpuMethod("trtllm-fp16", 16.0, "fp16", 0.00),
+    "atom-w4a4": GpuMethod("atom-w4a4", 4.3, "int4", 0.35),
+    "ms-noopt": GpuMethod(
+        "ms-noopt", 4.15, "fp16", 0.10, mixed_tile_fraction=1.0, smem_bits_per_weight=16.0
+    ),
+    "ms-optim": GpuMethod("ms-optim", 4.15, "mixed", 0.30, mixed_tile_fraction=0.20),
+    "ms-mtc": GpuMethod("ms-mtc", 4.15, "mtc", 0.04),
+}
+
+
+def _gemm_time_us(
+    gpu: GpuSpec, method: GpuMethod, params: float, m: int = 1
+) -> float:
+    """Time of all quantized GEMMs of one decode step (µs)."""
+    weight_bytes = params * method.weight_bits / 8.0
+    mem_us = weight_bytes / (gpu.hbm_gbps * 1e3)  # GB/s -> bytes/µs
+    flops = 2.0 * params * m
+    if method.compute == "fp16":
+        comp_us = flops / (gpu.fp16_tflops * 1e6)
+    elif method.compute == "int4":
+        comp_us = flops / (gpu.int4_tops * 1e6)
+    elif method.compute == "mtc":
+        comp_us = flops / (gpu.int4_tops * 1e6)
+    else:  # mixed: outlier tiles at FP16, the rest at INT4
+        f = method.mixed_tile_fraction
+        comp_us = f * flops / (gpu.fp16_tflops * 1e6) + (1 - f) * flops / (
+            gpu.int4_tops * 1e6
+        )
+    smem_us = params * method.smem_bits_per_weight / 8.0 / (gpu.hbm_gbps * 1e3)
+    return max(mem_us, comp_us) * (1.0 + method.overhead_frac) + smem_us
+
+
+def decode_step_ms(
+    method_name: str, model: str | ModelGeometry, gpu: GpuSpec = A100
+) -> float:
+    """One-token decode latency (ms) for a quantized model on the GPU."""
+    geom = GEOMETRIES[model] if isinstance(model, str) else model
+    method = GPU_METHODS[method_name]
+    gemm_us = _gemm_time_us(gpu, method, geom.quantized_params)
+    # Embedding + LM head stay FP16 in every method (memory-bound read).
+    head_bytes = geom.vocab * geom.d_model * 2.0
+    head_us = head_bytes / (gpu.hbm_gbps * 1e3)
+    overhead_us = gpu.block_overhead_us * geom.n_layers
+    return (gemm_us + head_us + overhead_us) / 1e3
+
+
+def token_throughput(
+    method_name: str, model: str | ModelGeometry, gpu: GpuSpec = A100
+) -> float:
+    """Tokens/second, the quantity Table 6 normalizes to TRT-LLM FP16."""
+    return 1e3 / decode_step_ms(method_name, model, gpu)

@@ -1,0 +1,35 @@
+"""Model substrates: transformer LM, VLM, CNN, and SSM analogs."""
+
+from .cnn import CNN_PROFILES, ConvNet, build_cnn, im2col
+from .generator import MODEL_FAMILIES, FamilyProfile, make_weight, plant_outliers
+from .ssm import SSM_PROFILES, SelectiveScanModel, build_ssm
+from .transformer import TransformerLM, build_model, linear_names
+from .vlm import (
+    VLM_PROFILES,
+    VisionLanguageModel,
+    build_vlm,
+    caption_agreement,
+    teacher_forced_agreement,
+)
+
+__all__ = [
+    "CNN_PROFILES",
+    "ConvNet",
+    "MODEL_FAMILIES",
+    "FamilyProfile",
+    "SSM_PROFILES",
+    "SelectiveScanModel",
+    "TransformerLM",
+    "VLM_PROFILES",
+    "VisionLanguageModel",
+    "build_cnn",
+    "build_model",
+    "build_ssm",
+    "build_vlm",
+    "caption_agreement",
+    "im2col",
+    "linear_names",
+    "make_weight",
+    "plant_outliers",
+    "teacher_forced_agreement",
+]

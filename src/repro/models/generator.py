@@ -1,0 +1,112 @@
+"""Synthetic foundation-model weight generation with planted outliers.
+
+The paper's accuracy results hinge on the *distribution* of weights —
+Gaussian inliers plus large-magnitude outliers, a measurable fraction of
+which are adjacent (Fig. 2a) — not on web-scale pretraining. Each model
+family below is an analog of one of the paper's evaluation models: same
+relative size ordering, outlier percentage, and adjacent-outlier share
+calibrated to Fig. 2(a) (modern FMs: 1–5% outliers, >0.5% adjacent;
+OPT-era models: almost no adjacent outliers).
+
+Weight matrices are orthogonal-ish random maps (so activations stay well
+conditioned through depth) with outliers planted at family-specific rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FamilyProfile", "MODEL_FAMILIES", "plant_outliers", "make_weight"]
+
+
+@dataclass(frozen=True)
+class FamilyProfile:
+    """Analog of one paper model: architecture scale + outlier demographics."""
+
+    name: str
+    paper_model: str
+    d_model: int
+    n_layers: int
+    n_heads: int
+    d_ff: int
+    vocab: int
+    outlier_pct: float  # % of weights that are outliers
+    adjacent_pct: float  # % of weights in adjacent-outlier pairs
+    logit_gain: float  # sharper logits = lower (better) baseline PPL
+    seed: int
+
+
+# Ordered as Table 2's columns. Sizes are scaled-down stand-ins; what is
+# preserved is the ordering of capacity and the outlier demographics.
+MODEL_FAMILIES: dict[str, FamilyProfile] = {
+    p.name: p
+    for p in [
+        FamilyProfile("opt-6.7b", "OPT-6.7B", 96, 2, 4, 256, 160, 0.8, 0.02, 0.65, 101),
+        FamilyProfile("opt-175b", "OPT-175B", 160, 3, 8, 448, 160, 0.7, 0.02, 0.80, 102),
+        FamilyProfile("llama2-7b", "LLaMA-2-7B", 128, 2, 4, 352, 160, 1.0, 0.30, 0.80, 103),
+        FamilyProfile("llama2-13b", "LLaMA-2-13B", 144, 3, 4, 384, 160, 1.1, 0.35, 0.90, 104),
+        FamilyProfile("llama2-70b", "LLaMA-2-70B", 192, 3, 8, 512, 160, 1.2, 0.40, 1.00, 105),
+        FamilyProfile("llama3-8b", "LLaMA-3-8B", 128, 2, 4, 352, 160, 1.4, 0.55, 0.85, 106),
+        FamilyProfile("llama3-70b", "LLaMA-3-70B", 192, 3, 8, 512, 160, 1.3, 0.50, 1.00, 107),
+        FamilyProfile("mixtral-8x7b", "Mixtral-8x7B", 160, 2, 8, 448, 160, 1.2, 0.40, 0.90, 108),
+        FamilyProfile("phi3-3.8b", "Phi-3-3.8B", 112, 2, 4, 320, 160, 0.9, 0.25, 0.75, 109),
+        FamilyProfile("phi3-14b", "Phi-3-14B", 144, 3, 4, 416, 160, 1.0, 0.30, 0.90, 110),
+    ]
+}
+
+
+def plant_outliers(
+    weights: np.ndarray,
+    outlier_pct: float,
+    adjacent_pct: float,
+    rng: np.random.Generator,
+    magnitude_range: tuple[float, float] = (3.5, 6.5),
+) -> np.ndarray:
+    """Scale a fraction of weights into the 3σ+ outlier regime, in place.
+
+    ``adjacent_pct`` of the weights are placed as contiguous outlier *pairs*
+    along the input (dot-product) dimension — the configuration that defeats
+    OliVe's victim-pair scheme. Magnitudes are uniform multiples of the
+    column's base σ, sign-preserving.
+    """
+    w = weights
+    sigma = float(np.std(w))
+    n = w.size
+    n_adj_pairs = int(round(n * adjacent_pct / 100.0 / 2.0))
+    n_single = max(0, int(round(n * outlier_pct / 100.0)) - 2 * n_adj_pairs)
+
+    d_out, d_in = w.shape
+    flat_idx = rng.choice(n, size=n_single, replace=False)
+    mags = rng.uniform(*magnitude_range, size=n_single) * sigma
+    signs = rng.choice([-1.0, 1.0], size=n_single)
+    w.ravel()[flat_idx] = mags * signs
+
+    for _ in range(n_adj_pairs):
+        r = rng.integers(0, d_out)
+        c = rng.integers(0, d_in - 1)
+        pair_mags = rng.uniform(*magnitude_range, size=2) * sigma
+        pair_signs = rng.choice([-1.0, 1.0], size=2)
+        w[r, c] = pair_mags[0] * pair_signs[0]
+        w[r, c + 1] = pair_mags[1] * pair_signs[1]
+    return w
+
+
+def make_weight(
+    d_out: int,
+    d_in: int,
+    rng: np.random.Generator,
+    outlier_pct: float = 0.0,
+    adjacent_pct: float = 0.0,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Random weight with near-orthogonal columns + planted outliers.
+
+    Base scale follows the usual ``1/sqrt(d_in)`` fan-in initialization so
+    stacked layers neither explode nor vanish; ``gain`` adjusts it.
+    """
+    w = rng.normal(0.0, 1.0, (d_out, d_in)) * (gain / np.sqrt(d_in))
+    if outlier_pct > 0.0:
+        plant_outliers(w, outlier_pct, adjacent_pct, rng)
+    return w

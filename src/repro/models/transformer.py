@@ -1,0 +1,199 @@
+"""A numpy decoder-only transformer LM used as the quantization substrate.
+
+Architecture (LLaMA-style): token embedding + sinusoidal positions, then
+``n_layers`` of [RMSNorm → causal MHA → residual, RMSNorm → SwiGLU MLP →
+residual], a final RMSNorm, and a tied LM head. All seven linear weights per
+block are quantization targets; embeddings and the head stay full precision
+(standard PTQ practice, also the paper's).
+
+The class exposes exactly what a PTQ framework needs:
+
+* :meth:`collect_calibration` — per-linear input activations from a
+  calibration batch (what GPTQ's Hessian is built from);
+* :meth:`forward` / :meth:`logits` — teacher-forced evaluation;
+* :meth:`sample` — autoregressive sampling (used to build the synthetic
+  evaluation corpus from the full-precision model itself);
+* weight overrides + per-linear activation fake-quantizers, which is how
+  quantized variants are materialized without copying the model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .generator import MODEL_FAMILIES, FamilyProfile, make_weight
+
+__all__ = ["TransformerLM", "build_model", "linear_names"]
+
+ActQuant = Callable[[np.ndarray], np.ndarray]
+
+
+def _rmsnorm(x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    return x / np.sqrt(np.mean(x**2, axis=-1, keepdims=True) + eps)
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    x = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(x)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def _silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def _sinusoidal_positions(max_len: int, d_model: int) -> np.ndarray:
+    pos = np.arange(max_len)[:, None]
+    dim = np.arange(d_model)[None, :]
+    angle = pos / np.power(10000.0, (2 * (dim // 2)) / d_model)
+    enc = np.where(dim % 2 == 0, np.sin(angle), np.cos(angle))
+    return 0.1 * enc
+
+
+def linear_names(n_layers: int) -> list[str]:
+    """Names of every quantizable linear weight, in forward order."""
+    names = []
+    for i in range(n_layers):
+        for w in ("wq", "wk", "wv", "wo", "w1", "w3", "w2"):
+            names.append(f"layers.{i}.{w}")
+    return names
+
+
+class TransformerLM:
+    """Decoder-only LM over a ``FamilyProfile``; weights are plain ndarrays."""
+
+    def __init__(self, profile: FamilyProfile, max_len: int = 128):
+        self.profile = profile
+        self.max_len = max_len
+        d, ff, v = profile.d_model, profile.d_ff, profile.vocab
+        rng = np.random.default_rng(profile.seed)
+        self.embed = rng.normal(0.0, 1.0, (v, d)) * (3.0 / np.sqrt(d))
+        self.pos = _sinusoidal_positions(max_len, d)
+        self.weights: Dict[str, np.ndarray] = {}
+        opct, apct = profile.outlier_pct, profile.adjacent_pct
+        for i in range(profile.n_layers):
+            for name, shape, gain in [
+                ("wq", (d, d), 1.0),
+                ("wk", (d, d), 1.0),
+                ("wv", (d, d), 1.0),
+                ("wo", (d, d), 1.0),
+                ("w1", (ff, d), 1.0),
+                ("w3", (ff, d), 1.0),
+                ("w2", (d, ff), 1.0),
+            ]:
+                self.weights[f"layers.{i}.{name}"] = make_weight(
+                    shape[0], shape[1], rng, opct, apct, gain
+                )
+        # Overrides hold quantized replacements; act quantizers fake-quantize
+        # each linear's input. Both default to identity (full precision).
+        self.overrides: Dict[str, np.ndarray] = {}
+        self.act_quant: Dict[str, ActQuant] = {}
+        # Optional KV-cache fake-quantizer: callable (k, v) -> (k_q, v_q)
+        # applied per sequence to the attention K/V tensors (KIVI-style).
+        self.kv_quant = None
+
+    # ---------------------------------------------------------------- utils
+    def _w(self, name: str) -> np.ndarray:
+        return self.overrides.get(name, self.weights[name])
+
+    def _linear(self, name: str, x: np.ndarray, capture: Optional[dict]) -> np.ndarray:
+        if capture is not None:
+            capture.setdefault(name, []).append(x.reshape(-1, x.shape[-1]))
+        aq = self.act_quant.get(name)
+        if aq is not None:
+            x = aq(x)
+        return x @ self._w(name).T
+
+    # -------------------------------------------------------------- forward
+    def forward(self, tokens: np.ndarray, capture: Optional[dict] = None) -> np.ndarray:
+        """Logits ``[batch, seq, vocab]`` for token ids ``[batch, seq]``."""
+        tokens = np.atleast_2d(tokens)
+        b, seq = tokens.shape
+        p = self.profile
+        h = self.embed[tokens] + self.pos[:seq][None, :, :]
+        n_heads = p.n_heads
+        d_head = p.d_model // n_heads
+        mask = np.triu(np.full((seq, seq), -1e30), k=1)
+
+        for i in range(p.n_layers):
+            x = _rmsnorm(h)
+            q = self._linear(f"layers.{i}.wq", x, capture)
+            k = self._linear(f"layers.{i}.wk", x, capture)
+            v = self._linear(f"layers.{i}.wv", x, capture)
+            if self.kv_quant is not None:
+                for bi in range(b):
+                    k[bi], v[bi] = self.kv_quant(k[bi], v[bi])
+
+            def heads(t):
+                return t.reshape(b, seq, n_heads, d_head).transpose(0, 2, 1, 3)
+
+            qh, kh, vh = heads(q), heads(k), heads(v)
+            att = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(d_head)
+            att = _softmax(att + mask[None, None, :, :])
+            ctx = (att @ vh).transpose(0, 2, 1, 3).reshape(b, seq, p.d_model)
+            h = h + self._linear(f"layers.{i}.wo", ctx, capture)
+
+            x = _rmsnorm(h)
+            gate = _silu(self._linear(f"layers.{i}.w1", x, capture))
+            up = self._linear(f"layers.{i}.w3", x, capture)
+            h = h + self._linear(f"layers.{i}.w2", gate * up, capture)
+
+        h = _rmsnorm(h)
+        return (h @ self.embed.T) * self.profile.logit_gain
+
+    def logits(self, tokens: np.ndarray) -> np.ndarray:
+        return self.forward(tokens)
+
+    # ---------------------------------------------------------- calibration
+    def collect_calibration(self, tokens: np.ndarray) -> Dict[str, np.ndarray]:
+        """Inputs seen by each linear during a forward pass over ``tokens``."""
+        capture: Dict[str, list] = {}
+        self.forward(tokens, capture=capture)
+        return {name: np.concatenate(chunks, axis=0) for name, chunks in capture.items()}
+
+    # ------------------------------------------------------------- sampling
+    def sample(
+        self, n_sequences: int, seq_len: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Autoregressive temperature-1 samples from the (FP) model."""
+        v = self.profile.vocab
+        tokens = rng.integers(0, v, size=(n_sequences, 1))
+        for _ in range(seq_len - 1):
+            logits = self.forward(tokens)[:, -1, :]
+            probs = _softmax(logits, axis=-1)
+            nxt = np.array(
+                [rng.choice(v, p=probs[i]) for i in range(n_sequences)]
+            )[:, None]
+            tokens = np.concatenate([tokens, nxt], axis=1)
+        return tokens
+
+    # ------------------------------------------------------------ overrides
+    def set_override(self, name: str, weight: np.ndarray) -> None:
+        if name not in self.weights:
+            raise KeyError(f"unknown linear {name!r}")
+        if weight.shape != self.weights[name].shape:
+            raise ValueError(
+                f"shape mismatch for {name}: {weight.shape} vs {self.weights[name].shape}"
+            )
+        self.overrides[name] = weight
+
+    def clear_overrides(self) -> None:
+        self.overrides.clear()
+        self.act_quant.clear()
+        self.kv_quant = None
+
+    @property
+    def linear_names(self) -> list[str]:
+        return linear_names(self.profile.n_layers)
+
+
+def build_model(family: str, max_len: int = 128) -> TransformerLM:
+    """Construct the analog model for a Table 2 family name."""
+    try:
+        profile = MODEL_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(MODEL_FAMILIES)
+        raise KeyError(f"unknown family {family!r}; known: {known}") from None
+    return TransformerLM(profile)

@@ -1,0 +1,38 @@
+"""MicroScopiQ quantization: Hessian engine, outlier handling, packing."""
+
+from .activation import (
+    ActivationQuantizer,
+    apply_migration,
+    migration_scales,
+    quantize_activations,
+    quantize_kv_cache,
+)
+from .config import MicroScopiQConfig
+from .hessian import (
+    cholesky_inverse_factor,
+    inverse_hessian,
+    layer_hessian,
+    pruning_saliency,
+)
+from .microscopiq import quantize_matrix, quantize_microscopiq
+from .outliers import OutlierStats, outlier_mask, outlier_stats
+from .packed import PackedLayer
+
+__all__ = [
+    "ActivationQuantizer",
+    "MicroScopiQConfig",
+    "OutlierStats",
+    "PackedLayer",
+    "apply_migration",
+    "cholesky_inverse_factor",
+    "inverse_hessian",
+    "layer_hessian",
+    "migration_scales",
+    "outlier_mask",
+    "outlier_stats",
+    "pruning_saliency",
+    "quantize_activations",
+    "quantize_kv_cache",
+    "quantize_matrix",
+    "quantize_microscopiq",
+]

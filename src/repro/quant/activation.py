@@ -1,0 +1,104 @@
+"""Activation-side quantization (paper §7.2) and KV-cache quantization (§7.7).
+
+Weight-activation settings (W4A4, W2A8) migrate activation-outlier difficulty
+into the weights with SmoothQuant's per-channel transform
+
+    W' = W * diag(s),   X' = X / s,   s_j = max|X_j|^α / max|W_j|^(1-α)
+
+(the paper uses migration strength α = 0.7 for MicroScopiQ, 0.5 for
+SmoothQuant). Activations are then quantized with plain MX-INT-b_128.
+
+KV-cache quantization follows KIVI [Liu et al. 2024]: keys per-channel,
+values per-token, with a full-precision residual window of recent tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.mx import quantize_mx_int
+
+__all__ = [
+    "migration_scales",
+    "apply_migration",
+    "quantize_activations",
+    "ActivationQuantizer",
+    "quantize_kv_cache",
+]
+
+
+def migration_scales(
+    weights: np.ndarray, calib_inputs: np.ndarray, alpha: float = 0.7
+) -> np.ndarray:
+    """Per-input-channel SmoothQuant scales ``s_j``.
+
+    ``weights`` is ``[d_out, d_in]``; ``calib_inputs`` is ``[n, d_in]``.
+    Higher α migrates more of the activation outliers into the weights.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    act_max = np.max(np.abs(calib_inputs), axis=0)
+    w_max = np.max(np.abs(weights), axis=0)
+    act_max = np.where(act_max == 0.0, 1.0, act_max)
+    w_max = np.where(w_max == 0.0, 1.0, w_max)
+    s = act_max**alpha / w_max ** (1.0 - alpha)
+    return np.where(s <= 0.0, 1.0, s)
+
+
+def apply_migration(
+    weights: np.ndarray, calib_inputs: np.ndarray, alpha: float = 0.7
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(W * s, X / s, s)`` — the smoothed problem."""
+    s = migration_scales(weights, calib_inputs, alpha)
+    return weights * s[None, :], calib_inputs / s[None, :], s
+
+
+def quantize_activations(x: np.ndarray, bits: int = 8, group_size: int = 128) -> np.ndarray:
+    """MX-INT activation fake-quantization along the feature axis."""
+    return quantize_mx_int(x, bits, group_size).dequant
+
+
+class ActivationQuantizer:
+    """Fake-quantizer for activations of a smoothed layer.
+
+    Divides by the migration vector ``s``, MX-INT quantizes, and multiplies
+    ``s`` back, so callers work entirely in the original activation space:
+    ``fakequant(x) @ (W_q)ᵀ`` reproduces the deployed numerics
+    ``Q_act(x/s) @ Q_w(W·s)ᵀ`` exactly.
+    """
+
+    def __init__(self, scales: np.ndarray | None, bits: int = 8, group_size: int = 128):
+        self.scales = None if scales is None else np.asarray(scales, dtype=np.float64)
+        self.bits = bits
+        self.group_size = group_size
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.scales is None:
+            return quantize_activations(x, self.bits, self.group_size)
+        smoothed = x / self.scales
+        return quantize_activations(smoothed, self.bits, self.group_size) * self.scales
+
+
+def quantize_kv_cache(
+    keys: np.ndarray,
+    values: np.ndarray,
+    bits: int = 2,
+    group_size: int = 128,
+    residual: int = 128,
+) -> tuple[np.ndarray, np.ndarray]:
+    """KIVI-style KV-cache quantization.
+
+    ``keys``/``values`` are ``[seq, d]``. Keys quantize per channel (groups
+    run along the sequence axis), values per token (groups along the feature
+    axis). The most recent ``residual`` tokens stay full precision.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    seq = keys.shape[0]
+    split = max(0, seq - residual)
+    k_q = keys.copy()
+    v_q = values.copy()
+    if split > 0:
+        k_q[:split] = quantize_mx_int(keys[:split].T, bits, group_size).dequant.T
+        v_q[:split] = quantize_mx_int(values[:split], bits, group_size).dequant
+    return k_q, v_q

@@ -1,0 +1,278 @@
+"""The MicroScopiQ quantizer (paper §4, Algorithm 1).
+
+For every macro-block (MaB, 128 columns) of every row:
+
+1. **Separate** inliers and outliers with the 3σ rule; compute one shared
+   power-of-two inlier scale ``2**Isf`` (MX-INT-b_BM).
+2. Per micro-block (μB, 8 columns): cap outliers at ``B_μ/2``; **prune** the
+   ``n`` least-important inliers (OBS saliency ``w²/[H⁻¹]_pp``) to free slots
+   for the outliers' extra bits; **quantize** the outliers jointly to MX-FP
+   with a shared microexponent, optionally pre-scaled by ``2**Isf``.
+3. **Compensate** the quantization error onto not-yet-quantized columns via
+   the GPTQ/OBS update.
+
+Columns are processed strictly left-to-right along the input (dot-product)
+dimension, so the inverse-Hessian Cholesky factor drives compensation exactly
+as in GPTQ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.fp import FPFormat
+from ..formats.mx import outlier_format_for_bits, quantize_mx_fp_group
+from ..formats.scalar import int_max, pow2_scale_exponent
+from .config import MicroScopiQConfig
+from .hessian import cholesky_inverse_factor, inverse_hessian, layer_hessian
+from .outliers import outlier_mask
+from .packed import PackedLayer
+
+__all__ = ["quantize_matrix", "quantize_microscopiq"]
+
+
+def _level1_field_range(fmt: FPFormat) -> tuple[int, int]:
+    """Range of the MXScale level-1 field (7 bits for e1m2, 5 for e3m4).
+
+    The field is a biased exponent (like E8M0) covering non-positive
+    exponents: weight tensors are sub-unit scaled, and the paper's outlier
+    pre-scaling by ``2**Isf`` further normalizes the level-1 exponent into a
+    narrow negative band, which is what lets a 5-bit field suffice for e3m4.
+    """
+    field_bits = 8 - fmt.exp_bits
+    return -(2**field_bits) + 1, 0
+
+
+def _quantize_outlier_group(
+    values: np.ndarray, config: MicroScopiQConfig, isf: int
+) -> tuple[np.ndarray, int, int]:
+    """Quantize one μB's outliers; returns (dequant, level1_exp, μX).
+
+    With ``prescale_outliers`` the group is multiplied by ``2**Isf`` first
+    (Isf is negative for all FMs we generate, shrinking the dynamic range the
+    MXScale level-1 field must cover); the reconstruction folds the factor
+    back, i.e. the effective scale is ``2**(l1 + μX - Isf)`` (paper §4.2).
+    """
+    if config.outlier_format == "mx-int":
+        exp = int(pow2_scale_exponent(values, config.outlier_bits))
+        scale = 2.0**exp
+        m = int_max(config.outlier_bits)
+        codes = np.clip(np.rint(values / scale), -m, m)
+        return codes * scale, exp, 0
+
+    fmt = outlier_format_for_bits(config.outlier_bits)
+    pre = 2.0**isf if config.prescale_outliers else 1.0
+    result = quantize_mx_fp_group(values * pre, fmt)
+    lo, hi = _level1_field_range(fmt)
+    l1 = result.level1_exp
+    if lo <= l1 <= hi:
+        dequant = result.dequant / pre
+    else:
+        # Level-1 exponent overflows its MXScale field: clamp and saturate.
+        l1_clamped = int(np.clip(l1, lo, hi))
+        sig = np.where(result.mantissa_codes < 0, 0.0, 1.0 + result.mantissa_codes / fmt.man_levels)
+        dequant = result.signs * sig * 2.0 ** (l1_clamped + result.mu_x) / pre
+        l1 = l1_clamped
+    eff_l1 = l1 - (isf if config.prescale_outliers else 0)
+    return dequant, eff_l1, result.mu_x
+
+
+def _select_prune_positions(
+    strategy: str,
+    n: int,
+    inlier_pos: np.ndarray,
+    outlier_pos: np.ndarray,
+    saliency: np.ndarray,
+) -> list[int]:
+    """Pick ``n`` μB-local positions to prune from ``inlier_pos``.
+
+    ``saliency`` is indexed by μB-local position. "hessian" and "magnitude"
+    use the provided saliency; "adjacent" mimics OliVe's victim-pair choice
+    (the slot right of each outlier, falling back left, then least-salient).
+    """
+    if strategy in ("hessian", "magnitude"):
+        order = np.argsort(saliency[inlier_pos], kind="stable")
+        return [int(inlier_pos[i]) for i in order[:n]]
+
+    chosen: list[int] = []
+    available = set(int(p) for p in inlier_pos)
+    for p in outlier_pos[:n]:
+        pick = None
+        for cand in (p + 1, p - 1):
+            if cand in available:
+                pick = cand
+                break
+        if pick is None:
+            remaining = sorted(available, key=lambda q: saliency[q])
+            pick = remaining[0]
+        available.discard(pick)
+        chosen.append(int(pick))
+    return chosen
+
+
+def quantize_matrix(
+    weights: np.ndarray,
+    calib_inputs: np.ndarray | None = None,
+    config: MicroScopiQConfig | None = None,
+    hessian: np.ndarray | None = None,
+) -> PackedLayer:
+    """Quantize a ``[d_out, d_in]`` weight matrix with MicroScopiQ.
+
+    ``calib_inputs [n, d_in]`` (or a precomputed ``hessian``) enables the
+    Hessian saliency and GPTQ error compensation; without either, saliency
+    falls back to weight magnitude and no compensation is applied.
+    """
+    config = config or MicroScopiQConfig()
+    w = np.array(weights, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError(f"expected 2-D weights, got shape {w.shape}")
+    d_out, d_in = w.shape
+    bm, bu = config.macro_block, config.micro_block
+    bb = config.inlier_bits
+    imax = int_max(bb)
+
+    if hessian is None and calib_inputs is not None:
+        hessian = layer_hessian(calib_inputs, config.damp_ratio)
+    have_h = hessian is not None
+    if have_h:
+        hinv_diag = np.diag(inverse_hessian(hessian)).copy()
+        u_factor = cholesky_inverse_factor(hessian) if config.compensate else None
+    else:
+        hinv_diag = np.ones(d_in)
+        u_factor = None
+
+    n_mabs = (d_in + bm - 1) // bm
+    n_ubs = (d_in + bu - 1) // bu
+    q = np.zeros_like(w)
+    isf_out = np.zeros((d_out, n_mabs), dtype=np.int32)
+    out_mask = np.zeros(w.shape, dtype=bool)
+    pruned = np.zeros(w.shape, dtype=bool)
+    ub_count = np.zeros((d_out, n_ubs), dtype=np.uint8)
+    ub_scale = np.full((d_out, n_ubs, 2), -128, dtype=np.int16)
+    perm_lists: dict = {}
+
+    detect_outliers = config.outlier_format != "none"
+    cap = config.max_outliers_per_ub
+
+    for mab in range(n_mabs):
+        m_lo = mab * bm
+        m_hi = min(m_lo + bm, d_in)
+        block = w[:, m_lo:m_hi]
+        if detect_outliers:
+            omask = outlier_mask(block, config.sigma_threshold, axis=-1)
+        else:
+            omask = np.zeros(block.shape, dtype=bool)
+
+        # Shared inlier scale from inlier magnitudes only (Step 1.2).
+        inlier_mag = np.where(omask, 0.0, np.abs(block))
+        no_inliers = ~np.any(~omask, axis=1)
+        amax = np.max(inlier_mag, axis=1)
+        amax = np.where(no_inliers, np.max(np.abs(block), axis=1), amax)
+        safe = np.where(amax == 0.0, 1.0, amax)
+        isf = np.where(
+            amax == 0.0, 0, np.ceil(np.log2(safe / imax))
+        ).astype(np.int32)
+        isf = np.clip(isf, -127, 127)
+        # Fit the power-of-two exponent: Eq. 1's float scale is snapped to
+        # the E8M0 grid by trying the covering exponent and two tighter
+        # (clipping) candidates, keeping the per-row error minimizer. With
+        # config.lwc (Omni-MicroScopiQ) the error is weighted by column
+        # importance diag(H) ~ E[x^2], OmniQuant's LWC objective.
+        inl = np.where(omask, 0.0, block)
+        if config.lwc and have_h:
+            col_w = np.diag(hessian)[m_lo:m_hi][None, :]
+        else:
+            col_w = np.ones((1, m_hi - m_lo))
+        best_mse = None
+        best_isf = isf.copy()
+        for delta in (0, 1, 2):
+            cand = isf - delta
+            sc = 2.0 ** cand.astype(np.float64)
+            qq = np.clip(np.rint(inl / sc[:, None]), -imax, imax) * sc[:, None]
+            mse = np.sum((qq - inl) ** 2 * col_w, axis=1)
+            if best_mse is None:
+                best_mse = mse
+            else:
+                better = mse < best_mse
+                best_mse = np.where(better, mse, best_mse)
+                best_isf = np.where(better, cand, best_isf)
+        isf = best_isf.astype(np.int32)
+        isf_out[:, mab] = isf
+        scale = 2.0 ** isf.astype(np.float64)
+
+        for u_lo in range(m_lo, m_hi, bu):
+            u_hi = min(u_lo + bu, m_hi)
+            ub_idx = u_lo // bu
+            cols = slice(u_lo, u_hi)
+            wb = w[:, cols]  # current (compensated) snapshot of this μB
+            ub_omask = omask[:, u_lo - m_lo : u_hi - m_lo]
+
+            codes = np.clip(np.rint(wb / scale[:, None]), -imax, imax)
+            qb = codes * scale[:, None]
+
+            rows = np.nonzero(ub_omask.any(axis=1))[0]
+            for r in rows:
+                local_out = np.nonzero(ub_omask[r])[0]
+                if len(local_out) > cap:
+                    # Demote the smallest-magnitude outliers to inliers
+                    # (the "outlier pruning" regime of Fig. 14 at tiny B_μ).
+                    mags = np.abs(wb[r, local_out])
+                    keep = local_out[np.argsort(-mags, kind="stable")[:cap]]
+                    local_out = np.sort(keep)
+                n = len(local_out)
+                all_pos = np.arange(u_hi - u_lo)
+                inlier_pos = np.setdiff1d(all_pos, local_out)
+                if config.prune_strategy == "hessian" and have_h:
+                    sal = wb[r] ** 2 / hinv_diag[u_lo:u_hi]
+                else:
+                    sal = np.abs(wb[r])
+                prune_pos = _select_prune_positions(
+                    config.prune_strategy, n, inlier_pos, local_out, sal
+                )
+
+                deq, l1, mu_x = _quantize_outlier_group(
+                    wb[r, local_out], config, int(isf[r])
+                )
+                qb[r, local_out] = deq
+                qb[r, prune_pos] = 0.0
+                out_mask[r, u_lo + local_out] = True
+                pruned[r, u_lo + np.asarray(prune_pos, dtype=int)] = True
+                ub_count[r, ub_idx] = n
+                ub_scale[r, ub_idx, 0] = np.clip(l1, -32768, 32767)
+                ub_scale[r, ub_idx, 1] = mu_x
+                perm_lists[(int(r), int(ub_idx))] = [
+                    (int(o), int(p)) for o, p in zip(local_out, prune_pos)
+                ]
+
+            q[:, cols] = qb
+
+            if u_factor is not None:
+                # GPTQ error propagation. Q for the whole μB was chosen
+                # jointly from the snapshot, but the error terms must follow
+                # the sequential Cholesky conditioning: column p's error is
+                # measured against the weights *after* columns < p inside the
+                # μB have pushed their updates (w_work), and updates beyond
+                # the μB are applied directly to the working matrix.
+                w_work = wb.copy()
+                for p in range(u_lo, u_hi):
+                    j = p - u_lo
+                    err = (w_work[:, j] - q[:, p]) / u_factor[p, p]
+                    if j + 1 < w_work.shape[1]:
+                        w_work[:, j + 1 :] -= np.outer(err, u_factor[p, p + 1 : u_hi])
+                    if u_hi < d_in:
+                        w[:, u_hi:] -= np.outer(err, u_factor[p, u_hi:])
+
+    return PackedLayer(
+        dequant=q,
+        config=config,
+        inlier_scale_exp=isf_out,
+        outlier_mask=out_mask,
+        pruned_mask=pruned,
+        ub_outlier_count=ub_count,
+        ub_scale=ub_scale,
+        perm_lists=perm_lists,
+    )
+
+
+# Alias emphasizing the method name at call sites that compare quantizers.
+quantize_microscopiq = quantize_matrix

@@ -1,0 +1,75 @@
+"""Outlier detection and distribution statistics (paper §3.1–3.2, Fig. 2a).
+
+Outliers are weights whose magnitude exceeds ``kσ`` of their sharing group
+(the 3σ rule [Pukelsheim 1994]). *Adjacent outliers* are two contiguous
+outliers along the dot-product (input) dimension — the case that breaks
+OliVe's outlier-victim-pair assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["outlier_mask", "OutlierStats", "outlier_stats"]
+
+
+def outlier_mask(
+    weights: np.ndarray, sigma_threshold: float = 3.0, axis: int = -1
+) -> np.ndarray:
+    """Boolean mask of outliers: ``|w| > kσ`` with σ taken along ``axis``.
+
+    The reduction axis is the scale-sharing group dimension; callers slice
+    macro-blocks before calling so σ is per-MaB as in the paper.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    sigma = np.std(w, axis=axis, keepdims=True)
+    return np.abs(w) > sigma_threshold * sigma
+
+
+@dataclass(frozen=True)
+class OutlierStats:
+    """Layer-level outlier demographics (the quantities plotted in Fig. 2a)."""
+
+    total_weights: int
+    n_outliers: int
+    n_adjacent_outliers: int
+
+    @property
+    def outlier_pct(self) -> float:
+        return 100.0 * self.n_outliers / self.total_weights
+
+    @property
+    def adjacent_outlier_pct(self) -> float:
+        return 100.0 * self.n_adjacent_outliers / self.total_weights
+
+
+def outlier_stats(
+    weights: np.ndarray, sigma_threshold: float = 3.0, macro_block: int = 128
+) -> OutlierStats:
+    """Count outliers and adjacent outliers of a ``[d_out, d_in]`` matrix.
+
+    σ is computed per row per macro-block, matching the quantizer's grouping.
+    An element counts as an *adjacent outlier* if it is an outlier and its
+    immediate left or right neighbour along the input dimension is also an
+    outlier.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError(f"expected a 2-D weight matrix, got shape {w.shape}")
+    d_in = w.shape[1]
+    mask = np.zeros(w.shape, dtype=bool)
+    for start in range(0, d_in, macro_block):
+        sl = slice(start, min(start + macro_block, d_in))
+        mask[:, sl] = outlier_mask(w[:, sl], sigma_threshold, axis=-1)
+    left = np.zeros_like(mask)
+    right = np.zeros_like(mask)
+    left[:, 1:] = mask[:, :-1]
+    right[:, :-1] = mask[:, 1:]
+    adjacent = mask & (left | right)
+    return OutlierStats(
+        total_weights=int(w.size),
+        n_outliers=int(mask.sum()),
+        n_adjacent_outliers=int(adjacent.sum()),
+    )

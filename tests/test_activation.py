@@ -1,0 +1,126 @@
+"""Tests for activation-side quantization: migration, MX-INT, KV cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    ActivationQuantizer,
+    apply_migration,
+    migration_scales,
+    quantize_activations,
+    quantize_kv_cache,
+)
+
+
+@pytest.fixture(scope="module")
+def wx():
+    rng = np.random.default_rng(0)
+    w = rng.normal(0, 0.02, (32, 64))
+    x = rng.normal(0, 1.0, (100, 64))
+    x[:, 5] *= 20.0  # an activation-outlier channel
+    return w, x
+
+
+class TestMigration:
+    def test_alpha_zero_is_inverse_weight_scale(self, wx):
+        w, x = wx
+        s = migration_scales(w, x, alpha=0.0)
+        w_max = np.max(np.abs(w), axis=0)
+        assert np.allclose(s, 1.0 / w_max)
+
+    def test_alpha_one_is_activation_scale(self, wx):
+        w, x = wx
+        s = migration_scales(w, x, alpha=1.0)
+        assert np.allclose(s, np.max(np.abs(x), axis=0))
+
+    def test_outlier_channel_gets_largest_scale(self, wx):
+        w, x = wx
+        s = migration_scales(w, x, alpha=0.7)
+        assert np.argmax(s) == 5
+
+    def test_migration_is_exact_transform(self, wx):
+        """W*s and X/s reproduce the original product exactly."""
+        w, x = wx
+        ws, xs, s = apply_migration(w, x, 0.7)
+        assert np.allclose(xs @ ws.T, x @ w.T)
+
+    def test_migration_flattens_activation_outliers(self, wx):
+        w, x = wx
+        _, xs, _ = apply_migration(w, x, 0.7)
+        ratio_before = np.max(np.abs(x), axis=0).max() / np.median(
+            np.max(np.abs(x), axis=0)
+        )
+        ratio_after = np.max(np.abs(xs), axis=0).max() / np.median(
+            np.max(np.abs(xs), axis=0)
+        )
+        assert ratio_after < ratio_before
+
+    def test_rejects_bad_alpha(self, wx):
+        w, x = wx
+        with pytest.raises(ValueError):
+            migration_scales(w, x, alpha=1.5)
+
+
+class TestActivationQuantizer:
+    def test_identity_scales_is_plain_mx_int(self, wx):
+        _, x = wx
+        aq = ActivationQuantizer(None, bits=8)
+        assert np.allclose(aq(x), quantize_activations(x, 8))
+
+    def test_rescaling_roundtrip_semantics(self, wx):
+        """fakequant(x) @ Wq^T == Q(x/s) @ (Wq*s)^T — deployed numerics."""
+        w, x = wx
+        ws, _, s = apply_migration(w, x, 0.7)
+        aq = ActivationQuantizer(s, bits=8)
+        lhs = aq(x) @ (ws / s).T
+        rhs = (quantize_activations(x / s, 8)) @ ws.T
+        assert np.allclose(lhs, rhs)
+
+    def test_more_bits_lower_error(self, wx):
+        _, x = wx
+        e4 = np.linalg.norm(quantize_activations(x, 4) - x)
+        e8 = np.linalg.norm(quantize_activations(x, 8) - x)
+        assert e8 < e4
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_quantization_idempotent(self, seed):
+        x = np.random.default_rng(seed).normal(0, 1, (4, 64))
+        q1 = quantize_activations(x, 8)
+        q2 = quantize_activations(q1, 8)
+        assert np.allclose(q1, q2, atol=1e-10)
+
+
+class TestKvCache:
+    def test_residual_window_untouched(self):
+        rng = np.random.default_rng(0)
+        k = rng.normal(0, 1, (200, 32))
+        v = rng.normal(0, 1, (200, 32))
+        kq, vq = quantize_kv_cache(k, v, bits=2, residual=64)
+        assert np.array_equal(kq[-64:], k[-64:])
+        assert np.array_equal(vq[-64:], v[-64:])
+
+    def test_old_tokens_quantized(self):
+        rng = np.random.default_rng(1)
+        k = rng.normal(0, 1, (200, 32))
+        v = rng.normal(0, 1, (200, 32))
+        kq, vq = quantize_kv_cache(k, v, bits=2, residual=64)
+        assert not np.array_equal(kq[:136], k[:136])
+        assert not np.array_equal(vq[:136], v[:136])
+
+    def test_short_sequence_all_residual(self):
+        rng = np.random.default_rng(2)
+        k = rng.normal(0, 1, (50, 16))
+        v = rng.normal(0, 1, (50, 16))
+        kq, vq = quantize_kv_cache(k, v, residual=128)
+        assert np.array_equal(kq, k) and np.array_equal(vq, v)
+
+    def test_error_bounded(self):
+        rng = np.random.default_rng(3)
+        k = rng.normal(0, 1, (300, 64))
+        v = rng.normal(0, 1, (300, 64))
+        kq, vq = quantize_kv_cache(k, v, bits=4, residual=0)
+        assert np.linalg.norm(kq - k) / np.linalg.norm(k) < 0.3
+        assert np.linalg.norm(vq - v) / np.linalg.norm(v) < 0.3

@@ -1,0 +1,111 @@
+"""Tests for MicroScopiQConfig validation and outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.quant import MicroScopiQConfig, outlier_mask, outlier_stats
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = MicroScopiQConfig()
+        assert cfg.inlier_bits == 2
+        assert cfg.outlier_bits == 4  # 2x inliers
+        assert cfg.macro_block == 128
+        assert cfg.micro_block == 8
+        assert cfg.sigma_threshold == 3.0
+
+    def test_outlier_bits_default_doubles(self):
+        assert MicroScopiQConfig(inlier_bits=4).outlier_bits == 8
+
+    def test_explicit_outlier_bits(self):
+        cfg = MicroScopiQConfig(inlier_bits=2, outlier_bits=8)
+        assert cfg.outlier_bits == 8
+
+    def test_max_outliers_is_half_ub(self):
+        assert MicroScopiQConfig(micro_block=8).max_outliers_per_ub == 4
+
+    def test_bit_budget_equals_inlier_bits(self):
+        assert MicroScopiQConfig(inlier_bits=4).bit_budget == 4
+
+    def test_rejects_bad_inlier_bits(self):
+        with pytest.raises(ValueError):
+            MicroScopiQConfig(inlier_bits=3)
+
+    def test_rejects_bad_outlier_format(self):
+        with pytest.raises(ValueError):
+            MicroScopiQConfig(outlier_format="fp32")
+
+    def test_rejects_bad_prune_strategy(self):
+        with pytest.raises(ValueError):
+            MicroScopiQConfig(prune_strategy="random")
+
+    def test_rejects_non_pow2_micro_block(self):
+        with pytest.raises(ValueError):
+            MicroScopiQConfig(micro_block=6)
+
+    def test_rejects_indivisible_macro_block(self):
+        with pytest.raises(ValueError):
+            MicroScopiQConfig(macro_block=100, micro_block=8)
+
+    def test_with_creates_modified_copy(self):
+        cfg = MicroScopiQConfig()
+        cfg2 = cfg.with_(inlier_bits=4)
+        assert cfg.inlier_bits == 2 and cfg2.inlier_bits == 4
+        assert cfg2.outlier_bits == 4  # carried over, not re-derived
+
+
+class TestOutlierMask:
+    def test_detects_planted_outlier(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(0, 1, 128)
+        w[17] = 10.0
+        mask = outlier_mask(w[None, :], 3.0)[0]
+        assert mask[17]
+
+    def test_no_outliers_in_uniformish_data(self):
+        w = np.linspace(-1, 1, 128)[None, :]
+        assert not outlier_mask(w, 3.0).any()
+
+    def test_threshold_scales(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(0, 1, (4, 256))
+        loose = outlier_mask(w, 2.0).sum()
+        tight = outlier_mask(w, 4.0).sum()
+        assert loose > tight
+
+    def test_sigma_is_per_group(self):
+        # Row with huge values: its own sigma grows, so only relatively
+        # large elements are outliers.
+        w = np.ones((1, 64))
+        w[0, 0] = 100.0
+        mask = outlier_mask(w, 3.0)
+        assert mask[0, 0] and mask.sum() == 1
+
+
+class TestOutlierStats:
+    def test_counts_planted(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(0, 0.02, (32, 256))
+        w[0, 10], w[0, 11] = 0.5, -0.5  # adjacent pair
+        w[5, 100] = 0.5  # isolated
+        stats = outlier_stats(w)
+        assert stats.n_outliers >= 3
+        assert stats.n_adjacent_outliers >= 2
+
+    def test_percentages(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(0, 0.02, (16, 128))
+        stats = outlier_stats(w)
+        assert 0 <= stats.adjacent_outlier_pct <= stats.outlier_pct <= 100
+
+    def test_isolated_outlier_not_adjacent(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(0, 0.01, (1, 128))
+        w[0, 64] = 1.0
+        stats = outlier_stats(w)
+        assert stats.n_adjacent_outliers == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            outlier_stats(np.zeros(8))

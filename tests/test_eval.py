@@ -1,0 +1,167 @@
+"""Tests for the evaluation pipeline: corpus, PPL, tasks, PTQ harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    LM_TASKS,
+    calibration_tokens,
+    eval_corpus,
+    nll,
+    perplexity,
+    quantize_model,
+    task_accuracy,
+    task_labels,
+)
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return build_model("phi3-3.8b")
+
+
+@pytest.fixture(scope="module")
+def corpus(lm):
+    return eval_corpus(lm, n_sequences=12, seq_len=24)
+
+
+class TestCorpus:
+    def test_cached_and_deterministic(self, lm):
+        a = eval_corpus(lm, 4, 16)
+        b = eval_corpus(lm, 4, 16)
+        assert np.array_equal(a, b)
+
+    def test_calibration_disjoint_from_eval(self, lm):
+        ev = eval_corpus(lm, 4, 16)
+        cal = calibration_tokens(lm, 4, 16)
+        assert not np.array_equal(ev, cal)
+
+    def test_token_range(self, corpus, lm):
+        assert corpus.min() >= 0 and corpus.max() < lm.profile.vocab
+
+
+class TestPerplexity:
+    def test_ppl_is_exp_nll(self, lm, corpus):
+        assert perplexity(lm, corpus) == pytest.approx(np.exp(nll(lm, corpus)))
+
+    def test_fp_beats_scrambled_model(self, lm, corpus):
+        """The FP model defines the corpus distribution, so breaking its
+        weights must raise PPL."""
+        base = perplexity(lm, corpus)
+        name = lm.linear_names[0]
+        rng = np.random.default_rng(0)
+        lm.set_override(name, lm.weights[name] + rng.normal(0, 0.1, lm.weights[name].shape))
+        worse = perplexity(lm, corpus)
+        lm.clear_overrides()
+        assert worse > base
+
+    def test_ppl_at_least_one(self, lm, corpus):
+        assert perplexity(lm, corpus) >= 1.0
+
+
+class TestTasks:
+    def test_six_tasks_defined(self):
+        assert len(LM_TASKS) == 6
+
+    def test_fp_model_scores_100(self, lm):
+        prompts, cands = task_labels(lm, LM_TASKS["boolq"])
+        assert task_accuracy(lm, prompts, cands) == 100.0
+
+    def test_candidates_distinct(self, lm):
+        _, cands = task_labels(lm, LM_TASKS["hellaswag"])
+        for row in cands:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_labels_refuse_quantized_model(self, lm):
+        name = lm.linear_names[0]
+        lm.set_override(name, lm.weights[name].copy())
+        with pytest.raises(RuntimeError):
+            task_labels(lm, LM_TASKS["boolq"])
+        lm.clear_overrides()
+
+    def test_quantized_model_scores_below_100(self, lm):
+        prompts, cands = task_labels(lm, LM_TASKS["mmlu"])
+        quantize_model(lm, "rtn", 2)
+        acc = task_accuracy(lm, prompts, cands)
+        lm.clear_overrides()
+        assert acc < 100.0
+
+
+class TestHarness:
+    def test_quantizes_every_linear(self, lm):
+        report = quantize_model(lm, "rtn", 4)
+        assert set(report.layer_ebw) == set(lm.linear_names)
+        assert set(lm.overrides) == set(lm.linear_names)
+        lm.clear_overrides()
+
+    def test_mean_ebw(self, lm):
+        report = quantize_model(lm, "microscopiq", 2)
+        assert 2.0 < report.mean_ebw < 3.5
+        lm.clear_overrides()
+
+    def test_act_bits_install_quantizers(self, lm):
+        quantize_model(lm, "microscopiq", 4, act_bits=4)
+        assert set(lm.act_quant) == set(lm.linear_names)
+        lm.clear_overrides()
+
+    def test_weight_only_leaves_acts_alone(self, lm):
+        quantize_model(lm, "microscopiq", 4)
+        assert not lm.act_quant
+        lm.clear_overrides()
+
+    def test_reentrant(self, lm, corpus):
+        quantize_model(lm, "rtn", 2)
+        quantize_model(lm, "microscopiq", 4)
+        ppl = perplexity(lm, corpus)
+        lm.clear_overrides()
+        # second call cleared the first; result reflects microscopiq-W4
+        assert ppl < perplexity_with(lm, "rtn", 2, corpus)
+
+    def test_non_lm_requires_calib(self):
+        from repro.models import build_cnn
+
+        with pytest.raises(ValueError):
+            quantize_model(build_cnn("resnet50"), "rtn", 4)
+
+
+def perplexity_with(lm, method, bits, corpus):
+    quantize_model(lm, method, bits)
+    ppl = perplexity(lm, corpus)
+    lm.clear_overrides()
+    return ppl
+
+
+class TestEndToEndOrdering:
+    """The Table 2 orderings at model level (single compact family)."""
+
+    @pytest.fixture(scope="class")
+    def ppls(self, lm, corpus):
+        out = {"fp": perplexity(lm, corpus)}
+        for method, bits in [
+            ("microscopiq", 4),
+            ("gptq", 4),
+            ("olive", 4),
+            ("microscopiq", 2),
+            ("omniquant", 2),
+        ]:
+            out[f"{method}-{bits}"] = perplexity_with(lm, method, bits, corpus)
+        return out
+
+    def test_fp_best(self, ppls):
+        assert all(ppls["fp"] <= v for k, v in ppls.items() if k != "fp")
+
+    def test_ms_w4_beats_gptq_and_olive(self, ppls):
+        assert ppls["microscopiq-4"] < ppls["gptq-4"]
+        assert ppls["microscopiq-4"] < ppls["olive-4"]
+
+    def test_ms_w2_beats_omniquant_w2(self, ppls):
+        assert ppls["microscopiq-2"] < ppls["omniquant-2"]
+
+    def test_ms_w2_competitive_with_olive_w4(self, ppls):
+        """Fig. 2(b)'s cross-width comparison. Phi-3 is the paper's most
+        outlier-poor FM, where OliVe-W4 degrades least — MicroScopiQ at
+        *half* the bits must still stay within 2x of it (the strict
+        MS-W2 < OliVe-W4 ordering on outlier-rich models is asserted by
+        benchmarks/test_fig2_outliers.py)."""
+        assert ppls["microscopiq-2"] < ppls["olive-4"] * 2.0

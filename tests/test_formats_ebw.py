@@ -1,0 +1,76 @@
+"""Tests for effective bit-width accounting (Eq. 4, §4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    ebw_inlier,
+    ebw_outlier,
+    gobo_ebw,
+    microscopiq_ebw,
+    perm_list_bits,
+)
+
+
+class TestPermListBits:
+    def test_paper_value_for_b8(self):
+        # B_μ=8: 4 entries x 6 bits = 24 bits (§4.3)
+        assert perm_list_bits(8) == 24
+
+    def test_b4(self):
+        assert perm_list_bits(4) == 2 * 2 * 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            perm_list_bits(6)
+
+
+class TestEbwOutlier:
+    def test_paper_value_bb2_b8(self):
+        # (24 + 2*8 + 8) / 8 = 6 bits (§4.4)
+        assert ebw_outlier(2, 8) == pytest.approx(6.0)
+
+    def test_bb4_b8(self):
+        assert ebw_outlier(4, 8) == pytest.approx((24 + 32 + 8) / 8)
+
+    def test_always_exceeds_inlier(self):
+        for bb in (2, 4):
+            for bu in (4, 8, 16):
+                assert ebw_outlier(bb, bu) > ebw_inlier(bb)
+
+
+class TestModelEbw:
+    def test_paper_headline_2_36(self):
+        """~9% outlier μBs at bb=2 gives the paper's 2.36-bit EBW."""
+        assert microscopiq_ebw(0.09, 2, 8) == pytest.approx(2.36)
+
+    def test_paper_w4_value(self):
+        # EBW 4.15 at bb=4 corresponds to ~3.75% outlier μBs
+        assert microscopiq_ebw(0.0375, 4, 8) == pytest.approx(4.15)
+
+    def test_no_outliers_equals_bit_budget(self):
+        assert microscopiq_ebw(0.0, 2, 8) == 2.0
+
+    def test_all_outliers_equals_outlier_ebw(self):
+        assert microscopiq_ebw(1.0, 2, 8) == pytest.approx(6.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            microscopiq_ebw(1.5, 2, 8)
+
+    @given(st.floats(0, 1), st.sampled_from([2, 4]), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_outlier_fraction(self, frac, bb, bu):
+        lo = microscopiq_ebw(frac * 0.5, bb, bu)
+        hi = microscopiq_ebw(frac, bb, bu)
+        assert hi >= lo - 1e-12
+
+
+class TestGoboEbw:
+    def test_paper_range(self):
+        """GOBO with a few % outliers lands in the 15–18 bit range."""
+        assert 15.0 < gobo_ebw(0.05) < 18.5
+
+    def test_grows_with_outliers(self):
+        assert gobo_ebw(0.08) > gobo_ebw(0.02)

@@ -1,0 +1,79 @@
+"""Tests for the minifloat grids (e1m2 / e3m4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import E1M2, E3M4, FPFormat, quantize_to_grid
+
+
+class TestFormats:
+    def test_e1m2_is_four_bits(self):
+        assert E1M2.bits == 4
+
+    def test_e3m4_is_eight_bits(self):
+        assert E3M4.bits == 8
+
+    def test_e1m2_max_value(self):
+        # 1.75 * 2^1
+        assert E1M2.max_value == pytest.approx(3.5)
+
+    def test_e3m4_max_value(self):
+        # 1.9375 * 2^7
+        assert E3M4.max_value == pytest.approx(248.0)
+
+    def test_grid_sorted_and_starts_at_zero(self):
+        g = E1M2.grid()
+        assert g[0] == 0.0
+        assert np.all(np.diff(g) > 0)
+
+    def test_e1m2_grid_contents(self):
+        # exponents {0,1} x significands {1, 1.25, 1.5, 1.75}
+        expected = {0.0, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5}
+        assert set(E1M2.grid().tolist()) == expected
+
+    def test_mantissa_grid(self):
+        assert E1M2.mantissa_grid().tolist() == [1.0, 1.25, 1.5, 1.75]
+
+    def test_grid_size_counts_distinct_magnitudes(self):
+        # e3m4: 8 exponents x 16 mantissas + zero, all distinct except overlaps
+        g = E3M4.grid()
+        assert len(g) <= 8 * 16 + 1
+        assert len(g) > 64
+
+
+class TestQuantizeToGrid:
+    def test_exact_values_fixed(self):
+        g = E1M2.grid()
+        vals = np.array([1.5, -2.5, 0.0])
+        assert np.allclose(quantize_to_grid(vals, g), vals)
+
+    def test_rounds_to_nearest(self):
+        g = E1M2.grid()
+        assert quantize_to_grid(np.array([2.74]), g)[0] == pytest.approx(2.5)
+        assert quantize_to_grid(np.array([2.76]), g)[0] == pytest.approx(3.0)
+
+    def test_preserves_sign(self):
+        g = E1M2.grid()
+        out = quantize_to_grid(np.array([-1.3]), g)
+        assert out[0] < 0
+
+    def test_clips_to_max(self):
+        g = E1M2.grid()
+        assert quantize_to_grid(np.array([99.0]), g)[0] == pytest.approx(3.5)
+
+    @given(st.floats(-3.5, 3.5, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_nearest_property(self, v):
+        g = E1M2.grid()
+        q = quantize_to_grid(np.array([v]), g)[0]
+        best = min(
+            np.concatenate([g, -g]), key=lambda c: (abs(c - v), abs(c))
+        )
+        assert abs(q - v) <= abs(best - v) + 1e-12
+
+    def test_custom_format(self):
+        fmt = FPFormat("e2m1", exp_bits=2, man_bits=1)
+        assert fmt.bits == 4
+        assert fmt.max_value == pytest.approx(1.5 * 8)

@@ -1,0 +1,157 @@
+"""Tests for MX-INT and MX-FP block quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    E1M2,
+    E3M4,
+    outlier_format_for_bits,
+    quantize_mx_fp,
+    quantize_mx_fp_group,
+    quantize_mx_int,
+)
+
+
+class TestOutlierFormatSelection:
+    def test_four_bits_is_e1m2(self):
+        assert outlier_format_for_bits(4) is E1M2
+
+    def test_eight_bits_is_e3m4(self):
+        assert outlier_format_for_bits(8) is E3M4
+
+    def test_rejects_other_widths(self):
+        with pytest.raises(ValueError):
+            outlier_format_for_bits(6)
+
+
+class TestMxInt:
+    def test_scale_is_power_of_two(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 256)
+        res = quantize_mx_int(x, 4, 128)
+        assert res.scale_exp.dtype == np.int32  # exponent, scale = 2**e
+
+    def test_group_count(self):
+        x = np.zeros(300)
+        res = quantize_mx_int(x, 4, 128)
+        assert res.scale_exp.shape[-1] == 3  # 128 + 128 + 44 (ragged)
+
+    def test_codes_within_symmetric_range(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 256)
+        res = quantize_mx_int(x, 2, 64)
+        assert res.codes.max() <= 1 and res.codes.min() >= -1
+
+    def test_dequant_error_bounded(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 128)
+        res = quantize_mx_int(x, 8, 128)
+        # pow2 scale is at most 2x the float-optimal scale
+        step = 2.0 * np.abs(x).max() / 127
+        assert np.max(np.abs(res.dequant - x)) <= step / 2 + 1e-12
+
+    def test_zero_group_round_trips(self):
+        res = quantize_mx_int(np.zeros(16), 4, 8)
+        assert np.all(res.dequant == 0.0)
+
+    def test_multirow(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(0, 1, (4, 64))
+        res = quantize_mx_int(x, 4, 32)
+        assert res.dequant.shape == x.shape
+        assert res.scale_exp.shape == (4, 2)
+
+
+class TestMxFpGroup:
+    def test_fig3_example_values(self):
+        """The Step 2 example of Fig. 3(a): outliers {76.3, -89.4, 59.3}."""
+        res = quantize_mx_fp_group(np.array([76.3, -89.4, 59.3]), E1M2)
+        # All reconstructions within one mantissa step (25%) of the input.
+        assert np.all(np.abs(res.dequant - [76.3, -89.4, 59.3]) / 89.4 < 0.25)
+        assert res.signs.tolist() == [1.0, -1.0, 1.0]
+
+    def test_single_value_high_accuracy_e3m4(self):
+        res = quantize_mx_fp_group(np.array([0.1783]), E3M4)
+        assert res.dequant[0] == pytest.approx(0.1783, rel=1 / 16)
+
+    def test_shared_exponent_is_common(self):
+        res = quantize_mx_fp_group(np.array([3.0, 3.2, 2.9]), E1M2)
+        assert 0 <= res.mu_x < E1M2.exp_levels
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_mx_fp_group(np.array([]), E1M2)
+
+    def test_zero_group(self):
+        res = quantize_mx_fp_group(np.zeros(4), E1M2)
+        assert np.all(res.dequant == 0.0)
+
+    def test_sign_preservation(self):
+        vals = np.array([-5.0, 4.0, -3.9])
+        res = quantize_mx_fp_group(vals, E1M2)
+        assert np.all(np.sign(res.dequant) == np.sign(vals))
+
+    def test_scale_exp_combines_levels(self):
+        res = quantize_mx_fp_group(np.array([100.0]), E1M2)
+        assert res.scale_exp == res.level1_exp + res.mu_x
+
+    @given(
+        st.lists(
+            st.floats(0.05, 50.0, allow_nan=False), min_size=1, max_size=8
+        ),
+        st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_relative_error_bound(self, mags, bits):
+        """Similar-magnitude groups reconstruct within one mantissa step."""
+        fmt = outlier_format_for_bits(bits)
+        vals = np.array(mags)
+        res = quantize_mx_fp_group(vals, fmt)
+        vmax = np.abs(vals).max()
+        # Worst case: value at the shared-exponent floor or clipped; bound
+        # error by a full exponent step relative to the group max.
+        assert np.max(np.abs(res.dequant - vals)) <= vmax + 1e-9
+
+    @given(st.floats(0.01, 100.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_singleton_relative_error(self, v):
+        res = quantize_mx_fp_group(np.array([v]), E3M4)
+        assert abs(res.dequant[0] - v) / v <= 1 / 16 + 1e-9
+
+
+class TestDiversityEffect:
+    def test_error_grows_with_group_diversity(self):
+        """Fig. 14's mechanism: wider groups -> more diverse outliers ->
+        larger shared-μX error."""
+        rng = np.random.default_rng(0)
+        tight = rng.uniform(3.0, 4.0, 8)
+        wide = rng.uniform(0.8, 12.0, 8)
+        err_tight = np.linalg.norm(
+            quantize_mx_fp_group(tight, E1M2).dequant - tight
+        ) / np.linalg.norm(tight)
+        err_wide = np.linalg.norm(
+            quantize_mx_fp_group(wide, E1M2).dequant - wide
+        ) / np.linalg.norm(wide)
+        assert err_wide > err_tight
+
+
+class TestDenseMxFp:
+    def test_shape_preserved(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (4, 32))
+        out = quantize_mx_fp(x, 4, 8)
+        assert out.shape == x.shape
+
+    def test_zero_blocks_pass_through(self):
+        x = np.zeros((2, 16))
+        assert np.all(quantize_mx_fp(x, 4, 8) == 0.0)
+
+    def test_smaller_groups_reduce_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.lognormal(0, 1.0, (2, 128)) * np.sign(rng.normal(size=(2, 128)))
+        e_small = np.linalg.norm(quantize_mx_fp(x, 8, 8) - x)
+        e_big = np.linalg.norm(quantize_mx_fp(x, 8, 128) - x)
+        assert e_small < e_big

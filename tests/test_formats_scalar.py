@@ -1,0 +1,109 @@
+"""Tests for symmetric INT quantization primitives (Eq. 1/2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    dequantize_int,
+    int_max,
+    pow2_scale_exponent,
+    quantize_dequantize_int,
+    quantize_int,
+    symmetric_scale,
+)
+
+
+class TestIntMax:
+    def test_two_bits(self):
+        assert int_max(2) == 1
+
+    def test_four_bits(self):
+        assert int_max(4) == 7
+
+    def test_eight_bits(self):
+        assert int_max(8) == 127
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(ValueError):
+            int_max(1)
+
+
+class TestSymmetricScale:
+    def test_matches_eq1(self):
+        x = np.array([1.0, -14.0, 3.0])
+        assert symmetric_scale(x, 4) == pytest.approx(14.0 / 7)
+
+    def test_zero_input_gives_unit_scale(self):
+        assert symmetric_scale(np.zeros(5), 4) == pytest.approx(1.0)
+
+    def test_per_axis(self):
+        x = np.array([[7.0, 1.0], [1.0, 14.0]])
+        s = symmetric_scale(x, 4, axis=1)
+        assert s[0, 0] == pytest.approx(1.0)
+        assert s[1, 0] == pytest.approx(2.0)
+
+
+class TestQuantizeInt:
+    def test_codes_clip_to_symmetric_range(self):
+        x = np.array([100.0, -100.0])
+        codes = quantize_int(x, np.array(1.0), 4)
+        assert codes.tolist() == [7, -7]
+
+    def test_round_trip_identity_on_grid(self):
+        scale = 0.5
+        vals = np.arange(-7, 8) * scale
+        codes = quantize_int(vals, np.array(scale), 4)
+        assert np.allclose(dequantize_int(codes, scale), vals)
+
+    def test_zero_maps_to_zero(self):
+        assert quantize_int(np.array([0.0]), np.array(2.0), 4)[0] == 0
+
+
+class TestPow2ScaleExponent:
+    def test_covers_max_value(self):
+        x = np.array([0.3, -0.9])
+        e = pow2_scale_exponent(x, 4)
+        assert 0.9 / 2.0**e <= int_max(4)
+
+    def test_minimal_covering_exponent(self):
+        x = np.array([0.3, -0.9])
+        e = int(pow2_scale_exponent(x, 4))
+        assert 0.9 / 2.0 ** (e - 1) > int_max(4)
+
+    def test_zero_input(self):
+        assert int(pow2_scale_exponent(np.zeros(3), 4)) == 0
+
+    def test_clipped_to_e8m0_range(self):
+        e = int(pow2_scale_exponent(np.array([1e60]), 4))
+        assert e <= 127
+
+
+class TestRoundTripError:
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=64),
+        st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_half_step(self, vals, bits):
+        x = np.array(vals)
+        dq = quantize_dequantize_int(x, bits)
+        step = float(symmetric_scale(x, bits))
+        assert np.max(np.abs(dq - x)) <= step / 2 + 1e-9
+
+    @given(st.lists(st.floats(-1, 1, allow_nan=False), min_size=2, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_idempotent(self, vals):
+        x = np.array(vals)
+        once = quantize_dequantize_int(x, 4)
+        twice = quantize_dequantize_int(once, 4)
+        assert np.allclose(once, twice, atol=1e-12)
+
+    def test_more_bits_never_worse(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 256)
+        errs = [
+            float(np.linalg.norm(quantize_dequantize_int(x, b) - x)) for b in (2, 4, 8)
+        ]
+        assert errs[0] >= errs[1] >= errs[2]

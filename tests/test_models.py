@@ -1,0 +1,208 @@
+"""Tests for the model substrates (transformer LM, generator, VLM, CNN, SSM)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_FAMILIES,
+    build_cnn,
+    build_model,
+    build_ssm,
+    build_vlm,
+    im2col,
+    linear_names,
+    make_weight,
+    plant_outliers,
+)
+from repro.quant import outlier_stats
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return build_model("llama3-8b")
+
+
+class TestGenerator:
+    def test_all_families_present(self):
+        assert len(MODEL_FAMILIES) == 10  # the ten Table 2 columns
+
+    def test_outlier_rate_close_to_profile(self):
+        rng = np.random.default_rng(0)
+        w = make_weight(256, 512, rng, outlier_pct=2.0, adjacent_pct=0.4)
+        stats = outlier_stats(w)
+        assert 1.0 < stats.outlier_pct < 4.0
+
+    def test_adjacent_pairs_planted(self):
+        rng = np.random.default_rng(1)
+        w = make_weight(256, 512, rng, outlier_pct=2.0, adjacent_pct=0.5)
+        stats = outlier_stats(w)
+        assert stats.adjacent_outlier_pct > 0.1
+
+    def test_opt_has_fewer_adjacent_than_llama3(self):
+        """Fig. 2(a): OPT-era models have ~2 orders fewer adjacent
+        outliers than modern FMs."""
+        opt = build_model("opt-6.7b")
+        llama = build_model("llama3-8b")
+
+        def adj(m):
+            return np.mean(
+                [outlier_stats(w).adjacent_outlier_pct for w in m.weights.values()]
+            )
+
+        assert adj(opt) < adj(llama) / 5
+
+    def test_plant_outliers_in_place(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(0, 1, (64, 64))
+        out = plant_outliers(w, 2.0, 0.0, rng)
+        assert out is w
+
+
+class TestTransformerLM:
+    def test_logit_shape(self, lm):
+        tokens = np.zeros((2, 10), dtype=np.int64)
+        assert lm.forward(tokens).shape == (2, 10, lm.profile.vocab)
+
+    def test_causality(self, lm):
+        """Changing a future token must not change past logits."""
+        rng = np.random.default_rng(0)
+        t1 = rng.integers(0, lm.profile.vocab, (1, 12))
+        t2 = t1.copy()
+        t2[0, -1] = (t2[0, -1] + 1) % lm.profile.vocab
+        l1 = lm.forward(t1)
+        l2 = lm.forward(t2)
+        assert np.allclose(l1[0, :-1], l2[0, :-1])
+        assert not np.allclose(l1[0, -1], l2[0, -1])
+
+    def test_linear_names_cover_all_weights(self, lm):
+        assert set(lm.linear_names) == set(lm.weights)
+        assert lm.linear_names == linear_names(lm.profile.n_layers)
+
+    def test_override_changes_output(self, lm):
+        tokens = np.zeros((1, 8), dtype=np.int64)
+        base = lm.forward(tokens)
+        name = lm.linear_names[0]
+        lm.set_override(name, np.zeros_like(lm.weights[name]))
+        changed = lm.forward(tokens)
+        lm.clear_overrides()
+        assert not np.allclose(base, changed)
+        assert np.allclose(lm.forward(tokens), base)
+
+    def test_override_shape_checked(self, lm):
+        with pytest.raises(ValueError):
+            lm.set_override(lm.linear_names[0], np.zeros((2, 2)))
+
+    def test_override_unknown_name(self, lm):
+        with pytest.raises(KeyError):
+            lm.set_override("nope", np.zeros((2, 2)))
+
+    def test_calibration_capture_shapes(self, lm):
+        tokens = np.zeros((2, 6), dtype=np.int64)
+        acts = lm.collect_calibration(tokens)
+        assert set(acts) == set(lm.linear_names)
+        d = lm.profile.d_model
+        assert acts["layers.0.wq"].shape == (12, d)
+        assert acts["layers.0.w2"].shape == (12, lm.profile.d_ff)
+
+    def test_sampling_deterministic_per_seed(self, lm):
+        a = lm.sample(2, 6, np.random.default_rng(42))
+        b = lm.sample(2, 6, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("gpt-5")
+
+
+class TestCnn:
+    def test_im2col_matches_direct_conv(self):
+        """im2col GEMM must equal an explicit 3x3 same-pad convolution."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (2, 3, 8, 8))
+        w = rng.normal(0, 1, (5, 3 * 9))
+        cols = im2col(x)
+        out = (cols @ w.T).reshape(2, 8, 8, 5).transpose(0, 3, 1, 2)
+        # direct conv at an interior pixel
+        kernel = w.reshape(5, 3, 3, 3)  # [c_out, ki, kj, c_in] per im2col order
+        i, j = 4, 5
+        ref = np.zeros(5)
+        for di in range(3):
+            for dj in range(3):
+                ref += kernel[:, di, dj, :] @ x[0, :, i + di - 1, j + dj - 1]
+        assert np.allclose(out[0, :, i, j], ref)
+
+    def test_predict_shape(self):
+        cnn = build_cnn("resnet50")
+        rng = np.random.default_rng(1)
+        imgs = rng.normal(0, 1, (4, 3, 16, 16))
+        assert cnn.predict(imgs).shape == (4,)
+
+    def test_calibration_capture(self):
+        cnn = build_cnn("vgg16")
+        rng = np.random.default_rng(2)
+        acts = cnn.collect_calibration(rng.normal(0, 1, (2, 3, 16, 16)))
+        assert set(acts) == set(cnn.linear_names)
+
+    def test_overrides(self):
+        cnn = build_cnn("resnet50")
+        rng = np.random.default_rng(3)
+        imgs = rng.normal(0, 1, (4, 3, 16, 16))
+        base = cnn.forward(imgs)
+        cnn.set_override("conv0", np.zeros_like(cnn.weights["conv0"]))
+        assert not np.allclose(base, cnn.forward(imgs))
+        cnn.clear_overrides()
+        assert np.allclose(base, cnn.forward(imgs))
+
+
+class TestSsm:
+    def test_forward_shape(self):
+        ssm = build_ssm("vmamba-s")
+        rng = np.random.default_rng(0)
+        seqs = rng.normal(0, 1, (4, 24, 64))
+        assert ssm.forward(seqs).shape == (4, 10)
+
+    def test_recurrence_compounds_error(self):
+        """The SSM's defining fragility: a weight perturbation hurts more
+        at longer sequence lengths (relative output change grows)."""
+        ssm = build_ssm("vmamba-s")
+        rng = np.random.default_rng(1)
+        seqs = rng.normal(0, 1, (8, 24, 64))
+        base_long = ssm.forward(seqs)
+        base_short = ssm.forward(seqs[:, :4, :])
+        w = ssm.weights["w_gate_a"]
+        ssm.set_override("w_gate_a", w + rng.normal(0, 0.05, w.shape))
+        pert_long = ssm.forward(seqs)
+        pert_short = ssm.forward(seqs[:, :4, :])
+        ssm.clear_overrides()
+        rel_long = np.linalg.norm(pert_long - base_long) / np.linalg.norm(base_long)
+        rel_short = np.linalg.norm(pert_short - base_short) / np.linalg.norm(base_short)
+        assert rel_long > rel_short
+
+    def test_calibration_capture(self):
+        ssm = build_ssm("vim-s")
+        rng = np.random.default_rng(2)
+        acts = ssm.collect_calibration(rng.normal(0, 1, (2, 24, 56)))
+        assert set(acts) == set(ssm.linear_names)
+
+
+class TestVlm:
+    def test_caption_generation_shape(self):
+        vlm = build_vlm("vila-7b")
+        rng = np.random.default_rng(0)
+        shots = [(rng.normal(0, 1, (3, 48)), rng.integers(0, 160, (3, 6)))]
+        query = rng.normal(0, 1, (3, 48))
+        caps = vlm.generate_captions(shots, query)
+        assert caps.shape == (3, 6)
+
+    def test_shots_change_output(self):
+        vlm = build_vlm("vila-7b")
+        rng = np.random.default_rng(1)
+        query = rng.normal(0, 1, (3, 48))
+        c0 = vlm.generate_captions([], query)
+        shots = [(rng.normal(0, 1, (3, 48)), rng.integers(0, 160, (3, 6)))]
+        c1 = vlm.generate_captions(shots, query)
+        assert not np.array_equal(c0, c1)
+
+    def test_quantization_protocol(self):
+        vlm = build_vlm("llava1.5-7b")
+        assert set(vlm.linear_names) == set(vlm.weights)
