@@ -5,19 +5,26 @@ paper-vs-measured comparison. Absolute numbers differ (the substrate is a
 synthetic simulator, not the authors' testbed); the assertions check the
 *shape*: who wins, roughly by how much, and where crossovers fall.
 
+Perplexity cells are produced by the :mod:`repro.pipeline` orchestration
+layer: benchmarks declare their (family × method × setting) grids as
+:class:`~repro.pipeline.ExperimentSpec` lists and ``run_sweep`` computes
+them — in parallel when the machine has the cores for it — against a
+session-scoped content-addressed cache, so overlapping tables (e.g. the FP
+reference column) are computed exactly once.
+
 Set ``REPRO_FULL=1`` to evaluate all ten Table 2 model families instead of
 the representative four.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
-import numpy as np
 import pytest
 
-from repro.eval import eval_corpus, perplexity, quantize_model
-from repro.models import MODEL_FAMILIES, build_model
+from repro.models import MODEL_FAMILIES
+from repro.pipeline import ExperimentSpec, SweepSpec, run_sweep
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
@@ -43,35 +50,53 @@ def print_table(title: str, header: list, rows: list) -> None:
 
 
 class PplCache:
-    """Quantize-and-evaluate cache shared across benchmarks in a session."""
+    """Pipeline-backed quantize-and-evaluate cache shared across a session.
 
-    def __init__(self):
-        self._models = {}
-        self._ppl = {}
+    ``prefetch`` runs a whole grid as one sweep (batch dispatch, parallel on
+    multi-core machines); ``ppl``/``fp_ppl`` answer single cells, running a
+    one-job sweep on miss. Everything funnels through the same
+    content-addressed disk cache, so cells shared between benchmarks (the FP
+    reference column, repeated settings) are computed once per session.
+    """
 
-    def model(self, family: str):
-        if family not in self._models:
-            self._models[family] = build_model(family)
-        return self._models[family]
+    def __init__(self, cache_dir: str | None = None):
+        self._cache_dir = cache_dir
+        self._metrics: dict = {}
+
+    @staticmethod
+    def _key(spec: ExperimentSpec) -> str:
+        return json.dumps(spec.key(), sort_keys=True)
+
+    def prefetch(self, specs) -> None:
+        """Compute every spec that isn't already in memory, as one sweep."""
+        todo = [s for s in specs if self._key(s) not in self._metrics]
+        if not todo:
+            return
+        result = run_sweep(
+            SweepSpec.from_specs(todo), cache_dir=self._cache_dir, executor="auto"
+        )
+        for outcome in result.outcomes:
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"benchmark job {outcome.job.label!r} failed: "
+                    f"{outcome.error['type']}: {outcome.error['message']}"
+                )
+            self._metrics[self._key(outcome.job.spec)] = outcome.metrics
+
+    def metrics(self, spec: ExperimentSpec) -> dict:
+        self.prefetch([spec])
+        return self._metrics[self._key(spec)]
 
     def fp_ppl(self, family: str) -> float:
-        key = (family, "fp16", None, None)
-        if key not in self._ppl:
-            m = self.model(family)
-            self._ppl[key] = perplexity(m, eval_corpus(m))
-        return self._ppl[key]
+        return self.metrics(ExperimentSpec(family=family))["ppl"]
 
     def ppl(self, family: str, method: str, w_bits: int, act_bits=None) -> float:
-        key = (family, method, w_bits, act_bits)
-        if key not in self._ppl:
-            m = self.model(family)
-            corpus = eval_corpus(m)
-            quantize_model(m, method, w_bits, act_bits=act_bits)
-            self._ppl[key] = perplexity(m, corpus)
-            m.clear_overrides()
-        return self._ppl[key]
+        spec = ExperimentSpec(
+            family=family, method=method, w_bits=w_bits, act_bits=act_bits
+        )
+        return self.metrics(spec)["ppl"]
 
 
 @pytest.fixture(scope="session")
-def ppl_cache():
-    return PplCache()
+def ppl_cache(tmp_path_factory):
+    return PplCache(cache_dir=str(tmp_path_factory.mktemp("repro-sweep-cache")))

@@ -1,0 +1,52 @@
+"""Orchestrated sweeps: the pipeline subsystem end to end.
+
+Declares a (families × methods × bit-settings) grid, runs it through
+``run_sweep`` with the auto-selected executor (process pool on multi-core
+machines) and a content-addressed result cache, then re-runs the identical
+sweep to show the 100% cache-hit path, and finally widens the grid to show
+that only the new cells compute.
+
+Run:  python examples/sweep_pipeline.py
+"""
+
+import tempfile
+
+from repro.pipeline import SweepSpec, run_sweep
+
+cache_dir = tempfile.mkdtemp(prefix="repro-sweep-")
+
+# --- 1. A small Table-2-style grid ----------------------------------------
+spec = SweepSpec(
+    families=("opt-6.7b", "llama3-8b"),
+    methods=("fp16", "rtn", "gptq", "microscopiq"),
+    w_bits=(4, 2),
+)
+print(f"sweep of {len(spec.jobs())} jobs  (cache: {cache_dir})")
+result = run_sweep(spec, cache_dir=cache_dir, executor="auto", progress=True)
+t = result.telemetry
+print(f"computed {t['computed']} jobs in {t['elapsed_s']:.1f}s "
+      f"({t['jobs_per_s']:.2f} jobs/s, executor={t['executor']})\n")
+
+print(f"{'family':<12}{'method':<14}{'W4 PPL':>10}{'W2 PPL':>10}")
+table = result.as_table("family", "method", "w_bits", metric="ppl")
+for family in spec.families:
+    for method in spec.methods:
+        cells = [table.get((family, method, b)) for b in (4, 2)]
+        row = "".join(f"{c:>10.2f}" if c is not None else f"{'—':>10}" for c in cells)
+        print(f"{family:<12}{method:<14}{row}")
+
+# --- 2. Identical re-run: pure cache --------------------------------------
+rerun = run_sweep(spec, cache_dir=cache_dir)
+print(f"\nre-run: {rerun.cache_hits}/{len(rerun.outcomes)} cache hits "
+      f"in {rerun.telemetry['elapsed_s']:.3f}s "
+      f"(equal results: {rerun.metrics_by_hash() == result.metrics_by_hash()})")
+
+# --- 3. Overlapping wider sweep: only the new cells compute ----------------
+wider = SweepSpec(
+    families=spec.families,
+    methods=spec.methods + ("awq",),
+    w_bits=spec.w_bits,
+)
+widened = run_sweep(wider, cache_dir=cache_dir, progress=True)
+print(f"widened sweep: {widened.telemetry['computed']} new jobs computed, "
+      f"{widened.cache_hits} served from cache")

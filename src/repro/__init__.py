@@ -15,9 +15,11 @@ Subpackages:
                    cycle-level performance/area/energy simulator
     gpu          — A100 kernel cost model and tensor-core variants
     core         — the high-level public API
+    pipeline     — parallel experiment orchestration: declarative sweeps,
+                   content-addressed result caching, the repro-sweep CLI
 """
 
-from . import accelerator, baselines, core, eval, formats, gpu, models, quant
+from . import accelerator, baselines, core, eval, formats, gpu, models, pipeline, quant
 from .core import (
     MicroScopiQConfig,
     PackedLayer,
@@ -39,6 +41,7 @@ __all__ = [
     "formats",
     "gpu",
     "models",
+    "pipeline",
     "quant",
     "quantize_matrix",
     "quantize_model",

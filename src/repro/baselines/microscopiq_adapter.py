@@ -88,13 +88,16 @@ def quantize_omni_microscopiq(
     calib_inputs: np.ndarray | None = None,
     bits: int = 4,
     act_bits: int | None = None,
+    config: MicroScopiQConfig | None = None,
 ) -> BaselineResult:
     """Omni-MicroScopiQ (Table 8): LWC inlier scales + LET α search.
 
     Per layer, the importance-weighted (LWC) and plain scale fits compete
     on calibration output error — the learned variant can therefore only
-    match or improve on plain MicroScopiQ, as in the paper."""
-    base = MicroScopiQConfig(inlier_bits=bits)
+    match or improve on plain MicroScopiQ, as in the paper. ``config``
+    overrides the base MicroScopiQ knobs (group sizes, outlier format, …);
+    its LWC variant is derived from it."""
+    base = config or MicroScopiQConfig(inlier_bits=bits)
     return _run(
         "omni-microscopiq",
         weights,

@@ -1,8 +1,8 @@
 """Evaluation: corpora, perplexity, tasks, and the quantization harness."""
 
 from .corpus import calibration_tokens, eval_corpus
-from .harness import QuantizationReport, quantize_model
-from .perplexity import nll, perplexity
+from .harness import QuantizationReport, evaluate_setting, quantize_model
+from .perplexity import nll, nll_per_sequence, perplexity
 from .tasks import LM_TASKS, TaskSpec, task_accuracy, task_labels
 
 __all__ = [
@@ -11,7 +11,9 @@ __all__ = [
     "TaskSpec",
     "calibration_tokens",
     "eval_corpus",
+    "evaluate_setting",
     "nll",
+    "nll_per_sequence",
     "perplexity",
     "quantize_model",
     "task_accuracy",

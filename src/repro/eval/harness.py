@@ -1,4 +1,4 @@
-"""Model-level quantization driver.
+"""Model-level quantization driver and the pipeline's job kernel.
 
 ``quantize_model`` walks every linear layer of a :class:`TransformerLM`,
 collects that layer's calibration activations (from the *progressively
@@ -6,12 +6,19 @@ quantized* model, as GPTQ-style pipelines do: layer ``l`` calibrates on the
 outputs of already-quantized layers ``< l``), quantizes with the requested
 method, and installs the dequantized override plus activation fake-quantizer
 when a weight-activation setting is requested.
+
+``evaluate_setting`` is the self-contained experiment kernel the
+:mod:`repro.pipeline` executors dispatch: build the model, quantize one
+setting, evaluate perplexity (plus a bootstrap uncertainty), and return a
+plain metrics dict. It rebuilds everything from its arguments and takes its
+randomness from the caller-provided generator, so a given (spec, seed) pair
+produces the same metrics in any process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -20,7 +27,7 @@ from ..models.transformer import TransformerLM
 from ..quant.activation import ActivationQuantizer
 from .corpus import calibration_tokens
 
-__all__ = ["QuantizationReport", "quantize_model"]
+__all__ = ["QuantizationReport", "evaluate_setting", "quantize_model"]
 
 # Methods whose signature accepts act_bits (they manage their own migration).
 _ACT_AWARE = {"smoothquant", "omniquant", "atom", "microscopiq", "omni-microscopiq"}
@@ -90,3 +97,88 @@ def quantize_model(
             k: v for k, v in result.meta.items() if isinstance(v, (int, float, str))
         }
     return report
+
+
+_FP_METHOD = "fp16"
+_BOOTSTRAP_RESAMPLES = 64
+
+
+def _split_quant_kwargs(method: str, quant_kwargs: Dict[str, Any], w_bits: int):
+    """Turn flat, JSON-able job kwargs into quantizer call kwargs.
+
+    MicroScopiQ's knobs live on :class:`~repro.quant.MicroScopiQConfig`, so
+    config-field names are folded into a ``config=`` object; every other
+    method takes its keywords directly (``group_size=…``, ``damp_ratio=…``).
+    """
+    from ..quant.config import MicroScopiQConfig
+
+    config_fields = {f.name for f in dataclass_fields(MicroScopiQConfig)}
+    cfg_kw = {k: v for k, v in quant_kwargs.items() if k in config_fields}
+    passthrough = {k: v for k, v in quant_kwargs.items() if k not in config_fields}
+    if method in ("microscopiq", "omni-microscopiq") and cfg_kw:
+        cfg_kw.setdefault("inlier_bits", w_bits)
+        passthrough["config"] = MicroScopiQConfig(**cfg_kw)
+    elif cfg_kw:
+        raise ValueError(
+            f"method {method!r} does not take MicroScopiQConfig fields: "
+            f"{sorted(cfg_kw)}"
+        )
+    return passthrough
+
+
+def evaluate_setting(
+    family: str,
+    method: str = _FP_METHOD,
+    w_bits: int = 4,
+    act_bits: Optional[int] = None,
+    quant_kwargs: Optional[Dict[str, Any]] = None,
+    kv_bits: Optional[int] = None,
+    kv_residual: int = 128,
+    eval_sequences: int = 32,
+    eval_seq_len: int = 32,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, Any]:
+    """Quantize one (family × method × setting) and evaluate it end to end.
+
+    This is the pipeline's job kernel: a pure function of its arguments.
+    ``rng`` is the only randomness source (the pipeline spawns it from the
+    job's content hash); it currently drives the bootstrap resampling of the
+    perplexity uncertainty, and any future stochastic step must draw from it
+    too so parallel and serial sweeps stay bit-identical.
+
+    Returns a JSON-serializable dict: ``ppl``, ``nll``, ``nll_se`` (bootstrap
+    standard error over evaluation sequences), and ``mean_ebw`` (quantized
+    runs). Deliberately no wall times here — metrics must be a deterministic
+    function of the job so executors can be compared bit-for-bit; timing
+    lives on the executor's :class:`~repro.pipeline.executor.JobOutcome`.
+    """
+    from ..models.transformer import build_model
+    from ..quant.activation import quantize_kv_cache
+    from .corpus import eval_corpus
+    from .perplexity import nll_per_sequence
+
+    rng = rng if rng is not None else np.random.default_rng(0)
+    model = build_model(family)
+    corpus = eval_corpus(model, eval_sequences, eval_seq_len)
+    metrics: Dict[str, Any] = {"family": family, "method": method}
+
+    if method != _FP_METHOD:
+        kwargs = _split_quant_kwargs(method, dict(quant_kwargs or {}), w_bits)
+        report = quantize_model(model, method, w_bits, act_bits=act_bits, **kwargs)
+        metrics["w_bits"] = w_bits
+        metrics["act_bits"] = act_bits
+        metrics["mean_ebw"] = report.mean_ebw
+
+    if kv_bits is not None:
+        model.kv_quant = lambda k, v: quantize_kv_cache(
+            k, v, bits=kv_bits, residual=kv_residual
+        )
+
+    seq_nll = nll_per_sequence(model, corpus)
+    metrics["nll"] = float(np.mean(seq_nll))
+    metrics["ppl"] = float(np.exp(metrics["nll"]))
+    resamples = rng.integers(0, len(seq_nll), size=(_BOOTSTRAP_RESAMPLES, len(seq_nll)))
+    metrics["nll_se"] = float(np.std(np.mean(seq_nll[resamples], axis=1)))
+
+    model.clear_overrides()
+    return metrics

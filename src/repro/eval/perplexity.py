@@ -6,18 +6,28 @@ import numpy as np
 
 from ..models.transformer import TransformerLM
 
-__all__ = ["perplexity", "nll"]
+__all__ = ["perplexity", "nll", "nll_per_sequence"]
 
 
-def nll(model: TransformerLM, tokens: np.ndarray) -> float:
-    """Mean negative log-likelihood per predicted token."""
+def nll_per_sequence(model: TransformerLM, tokens: np.ndarray) -> np.ndarray:
+    """Per-sequence mean negative log-likelihood, ``[n_sequences]``.
+
+    One forward pass; the overall corpus NLL is the mean of this vector
+    (every sequence contributes the same number of predicted tokens), and
+    the vector itself feeds bootstrap uncertainty estimates.
+    """
     tokens = np.atleast_2d(tokens)
     logits = model.forward(tokens[:, :-1])
     targets = tokens[:, 1:]
     m = np.max(logits, axis=-1, keepdims=True)
     logz = m[..., 0] + np.log(np.sum(np.exp(logits - m), axis=-1))
     tgt_logit = np.take_along_axis(logits, targets[..., None], axis=-1)[..., 0]
-    return float(np.mean(logz - tgt_logit))
+    return np.mean(logz - tgt_logit, axis=-1)
+
+
+def nll(model: TransformerLM, tokens: np.ndarray) -> float:
+    """Mean negative log-likelihood per predicted token."""
+    return float(np.mean(nll_per_sequence(model, tokens)))
 
 
 def perplexity(model: TransformerLM, tokens: np.ndarray) -> float:

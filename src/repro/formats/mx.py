@@ -126,25 +126,27 @@ def quantize_mx_fp_group(values: np.ndarray, fmt: FPFormat) -> MxFpResult:
     l1 = int(np.ceil(np.log2(vmax / fmt.max_value)))
     scaled = mag / 2.0**l1
 
-    best = None
     man_levels = fmt.man_levels
     top_exp = int(np.floor(np.log2(scaled.max())))
-    candidates = range(
-        max(0, top_exp - fmt.exp_levels + 1), min(fmt.exp_levels - 1, top_exp) + 1
-    )
-    for e in candidates:
-        sig = scaled / 2.0**e
-        codes = np.clip(np.rint((sig - 1.0) * man_levels), 0, man_levels - 1)
-        recon = (1.0 + codes / man_levels) * 2.0**e
-        # A dedicated zero encoding: elements closer to 0 than to the
-        # hidden-bit floor reconstruct as 0 (code -1).
-        use_zero = scaled < recon - scaled
-        recon = np.where(use_zero, 0.0, recon)
-        codes = np.where(use_zero, -1, codes)
-        err = float(np.sum((recon - scaled) ** 2))
-        if best is None or err < best[0]:
-            best = (err, e, codes.astype(np.int32), recon)
-    _, mu_x, codes, recon = best
+    lo = max(0, top_exp - fmt.exp_levels + 1)
+    hi = min(fmt.exp_levels - 1, top_exp)
+    # All candidate μX values at once ([C, 1] against [elements]) instead of
+    # one numpy pass per candidate — this runs once per outlier group, which
+    # is the hottest call site of a MicroScopiQ sweep.
+    cand = np.arange(lo, hi + 1, dtype=np.float64)[:, None]
+    pw = 2.0**cand
+    codes = np.clip(np.rint((scaled[None, :] / pw - 1.0) * man_levels), 0, man_levels - 1)
+    recon = (1.0 + codes / man_levels) * pw
+    # A dedicated zero encoding: elements closer to 0 than to the
+    # hidden-bit floor reconstruct as 0 (code -1).
+    use_zero = scaled[None, :] < recon - scaled[None, :]
+    recon = np.where(use_zero, 0.0, recon)
+    codes = np.where(use_zero, -1, codes)
+    err = np.sum((recon - scaled[None, :]) ** 2, axis=1)
+    i = int(np.argmin(err))  # first minimum — same tie-break as the old loop
+    mu_x = lo + i
+    codes = codes[i].astype(np.int32)
+    recon = recon[i]
 
     signs = np.where(values < 0, -1.0, 1.0)
     dequant = signs * recon * 2.0**l1

@@ -1,0 +1,63 @@
+"""Experiment orchestration: declarative sweeps, caching, parallel execution.
+
+The pipeline turns the repo's per-table benchmark scripts into one reusable
+substrate:
+
+* :mod:`~repro.pipeline.spec` — :class:`ExperimentSpec` / :class:`SweepSpec`
+  grids enumerated into content-hashed :class:`Job`\\ s;
+* :mod:`~repro.pipeline.cache` — a content-addressed on-disk result store, so
+  overlapping sweeps only compute what's new;
+* :mod:`~repro.pipeline.executor` — serial / thread / process execution with
+  per-job timing and failure capture;
+* :mod:`~repro.pipeline.runner` — :func:`run_sweep` wiring the above into a
+  :class:`SweepResult` with pivot/aggregation helpers;
+* :mod:`~repro.pipeline.progress` — throughput / cache-hit telemetry;
+* :mod:`~repro.pipeline.cli` — the ``repro-sweep`` / ``python -m
+  repro.pipeline`` command line.
+
+Quickstart::
+
+    from repro.pipeline import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        families=("opt-6.7b", "llama3-8b"),
+        methods=("fp16", "rtn", "microscopiq"),
+        w_bits=(4, 2),
+    )
+    result = run_sweep(spec, cache_dir=".repro-cache", executor="auto")
+    print(result.pivot("family", "method", metric="ppl"))
+"""
+
+from .cache import ResultCache
+from .executor import (
+    EXECUTORS,
+    JobOutcome,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_workers,
+    make_executor,
+)
+from .progress import ProgressTracker
+from .runner import SweepResult, execute_job, run_sweep
+from .spec import FP_METHOD, ExperimentSpec, Job, SweepSpec, known_methods
+
+__all__ = [
+    "EXECUTORS",
+    "ExperimentSpec",
+    "FP_METHOD",
+    "Job",
+    "JobOutcome",
+    "ProcessExecutor",
+    "ProgressTracker",
+    "ResultCache",
+    "SerialExecutor",
+    "SweepResult",
+    "SweepSpec",
+    "ThreadExecutor",
+    "default_workers",
+    "execute_job",
+    "known_methods",
+    "make_executor",
+    "run_sweep",
+]

@@ -1,0 +1,122 @@
+"""Content-addressed on-disk result store.
+
+Each completed job is stored as one JSON record at
+``<root>/<hh>/<hash>.json`` where ``hash`` is the job's content hash
+(:attr:`repro.pipeline.spec.Job.job_hash` — spec + ``repro.__version__`` +
+sweep seed) and ``hh`` its first two hex digits (a fan-out shard so huge
+sweeps don't create million-entry directories). Because the address *is* the
+content identity, re-runs and partially-overlapping sweeps only compute the
+jobs whose hash is absent; bumping ``repro.__version__`` or the sweep seed
+naturally invalidates everything.
+
+Writes are atomic (tempfile + ``os.replace``) so a crashed or killed worker
+can never leave a half-written record that later poisons a sweep; unreadable
+records are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["ResultCache"]
+
+_SCHEMA = 1
+
+
+class ResultCache:
+    """Dictionary-flavored view of the on-disk store, keyed by job hash."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- addressing
+    def path_for(self, job_hash: str) -> Path:
+        if len(job_hash) < 8 or not all(c in "0123456789abcdef" for c in job_hash):
+            raise ValueError(f"malformed job hash {job_hash!r}")
+        return self.root / job_hash[:2] / f"{job_hash}.json"
+
+    # ------------------------------------------------------------------ reads
+    def get(self, job_hash: str) -> Optional[Dict[str, Any]]:
+        """The stored record, or ``None`` on miss/corruption."""
+        path = self.path_for(job_hash)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                record = json.load(f)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != _SCHEMA:
+            return None
+        return record
+
+    def __contains__(self, job_hash: str) -> bool:
+        return self.get(job_hash) is not None
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """All readable records, in stable (hash-sorted) order."""
+        for path in sorted(self.root.glob("??/*.json")):
+            record = self.get(path.stem)
+            if record is not None:
+                yield record
+
+    # ----------------------------------------------------------------- writes
+    def put(self, job_hash: str, record: Dict[str, Any]) -> Path:
+        """Atomically persist ``record`` under ``job_hash``."""
+        path = self.path_for(job_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = dict(record)
+        record.setdefault("schema", _SCHEMA)
+        record.setdefault("hash", job_hash)
+        record.setdefault("created_at", time.time())
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(record, f, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------ maintenance
+    def remove(self, job_hash: str) -> bool:
+        try:
+            self.path_for(job_hash).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clean(self, older_than: Optional[float] = None) -> int:
+        """Delete cached results; with ``older_than`` (seconds), only stale
+        ones. Returns the number of records removed."""
+        removed = 0
+        now = time.time()
+        for path in list(self.root.glob("??/*.json")):
+            if older_than is not None:
+                record = self.get(path.stem)
+                age = now - float((record or {}).get("created_at", 0.0))
+                if record is not None and age < older_than:
+                    continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and on-disk footprint."""
+        paths = list(self.root.glob("??/*.json"))
+        return {
+            "root": str(self.root),
+            "entries": len(paths),
+            "bytes": sum(p.stat().st_size for p in paths),
+        }

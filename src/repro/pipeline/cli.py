@@ -1,0 +1,201 @@
+"""Command-line front end: ``python -m repro.pipeline`` / ``repro-sweep``.
+
+Three subcommands:
+
+* ``sweep`` — enumerate a grid (families × methods × bits × group sizes),
+  run it through the cache + executor, print the pivot table, optionally
+  dump JSON records;
+* ``show``  — summarize what the cache already holds;
+* ``clean`` — purge cached results (optionally only stale ones).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .cache import ResultCache
+from .executor import EXECUTORS, default_workers
+from .runner import run_sweep
+from .spec import FP_METHOD, SweepSpec, known_methods
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_CACHE = ".repro-cache"
+
+
+def _act_bits(text: str) -> Optional[int]:
+    """'none'/'fp'/'16' all mean full-precision activations."""
+    return None if text.lower() in ("none", "fp", "16") else int(text)
+
+
+def _group_size(text: str) -> Optional[int]:
+    """'none' means the method's default group size; 16 is a real size."""
+    return None if text.lower() == "none" else int(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Parallel, cached experiment sweeps over the MicroScopiQ reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run a (models × methods × settings) grid")
+    sweep.add_argument("--families", nargs="+", required=True, metavar="FAMILY")
+    sweep.add_argument(
+        "--methods", nargs="+", required=True, metavar="METHOD",
+        help=f"any of: {', '.join(known_methods())}",
+    )
+    sweep.add_argument("--w-bits", nargs="+", type=int, default=[4])
+    sweep.add_argument(
+        "--act-bits", nargs="+", type=_act_bits, default=[None],
+        help="activation bits per setting; 'none' = weight-only",
+    )
+    sweep.add_argument(
+        "--group-sizes", nargs="+", type=_group_size, default=[None],
+        help="quantization group sizes; 'none' = method default",
+    )
+    sweep.add_argument(
+        "--outlier-formats", nargs="+", default=[None],
+        choices=[None, "mx-fp", "mx-int", "none"],
+        help="MicroScopiQ outlier format axis",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--eval-sequences", type=int, default=32)
+    sweep.add_argument("--eval-seq-len", type=int, default=32)
+    sweep.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    sweep.add_argument("--no-cache", action="store_true")
+    sweep.add_argument(
+        "--executor", default="auto", choices=["auto"] + sorted(EXECUTORS)
+    )
+    sweep.add_argument("--workers", type=int, default=None)
+    sweep.add_argument("--recompute", action="store_true")
+    sweep.add_argument("--metric", default="ppl")
+    sweep.add_argument("--json", dest="json_out", metavar="PATH",
+                       help="write per-job records as JSON")
+    sweep.add_argument("--quiet", action="store_true")
+
+    show = sub.add_parser("show", help="summarize the result cache")
+    show.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    show.add_argument("--limit", type=int, default=20)
+
+    clean = sub.add_parser("clean", help="delete cached results")
+    clean.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    clean.add_argument(
+        "--older-than", type=float, default=None, metavar="SECONDS",
+        help="only remove entries older than this",
+    )
+    return parser
+
+
+def _print_pivot(result, metric: str) -> None:
+    # Columns are full settings ("rtn W2A16"), not bare method names — a
+    # multi-bit sweep must not collapse its settings into one cell.
+    pivot: dict = {}
+    columns: List[str] = []
+    for o in result.outcomes:
+        if o.metrics is None:
+            continue
+        spec = o.job.spec
+        col = o.job.label[len(spec.family) + 1 :] if o.job.label.startswith(
+            f"{spec.family}/"
+        ) else o.job.label
+        if col not in columns:
+            columns.append(col)
+        pivot.setdefault(spec.family, {})[col] = o.metrics.get(metric)
+    if not columns:
+        print("no successful jobs")
+        return
+    width = max(12, *(len(c) for c in columns)) + 2
+    fam_w = max(8, *(len(f) for f in pivot)) + 2
+    print("family".ljust(fam_w) + "".join(c.rjust(width) for c in columns))
+    for fam, row in pivot.items():
+        cells = []
+        for c in columns:
+            v = row.get(c)
+            cells.append(("-" if v is None else f"{v:.3f}").rjust(width))
+        print(fam.ljust(fam_w) + "".join(cells))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = SweepSpec(
+            families=tuple(args.families),
+            methods=tuple(args.methods),
+            w_bits=tuple(args.w_bits),
+            act_bits=tuple(args.act_bits),
+            group_sizes=tuple(args.group_sizes),
+            outlier_formats=tuple(f for f in args.outlier_formats),
+            eval_sequences=args.eval_sequences,
+            eval_seq_len=args.eval_seq_len,
+            seed=args.seed,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = run_sweep(
+        spec,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        executor=args.executor,
+        workers=args.workers,
+        progress=not args.quiet,
+        recompute=args.recompute,
+    )
+    t = result.telemetry
+    print(
+        f"{t['done']}/{t['total']} jobs · {t['cache_hits']} cache hits · "
+        f"{t['failures']} failures · {t['elapsed_s']:.2f}s wall "
+        f"({t['jobs_per_s']:.2f} jobs/s, executor={t['executor']}, "
+        f"workers≤{args.workers or default_workers()})"
+    )
+    _print_pivot(result, args.metric)
+    for o in result.failures():
+        print(f"FAILED {o.job.label}: {o.error['type']}: {o.error['message']}",
+              file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump({"telemetry": t, "records": result.records()}, f, indent=2)
+        print(f"wrote {args.json_out}")
+    return 1 if result.failures() else 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    stats = cache.stats()
+    print(f"cache {stats['root']}: {stats['entries']} results, {stats['bytes']} bytes")
+    for i, record in enumerate(cache.entries()):
+        if i >= args.limit:
+            print(f"... ({stats['entries'] - args.limit} more)")
+            break
+        metrics = record.get("metrics") or {}
+        ppl = metrics.get("ppl")
+        line = f"  {record.get('hash', '?')[:12]}  {record.get('label', '?'):40s}"
+        if ppl is not None:
+            line += f"  ppl={ppl:.3f}"
+        print(line)
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    removed = cache.clean(older_than=args.older_than)
+    print(f"removed {removed} cached results from {cache.root}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "show":
+        return _cmd_show(args)
+    if args.command == "clean":
+        return _cmd_clean(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

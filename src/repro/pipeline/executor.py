@@ -1,0 +1,196 @@
+"""Job executors: serial, thread-pool, and process-pool behind one interface.
+
+Every executor takes a picklable kernel ``fn(job) -> dict`` and a list of
+:class:`~repro.pipeline.spec.Job`\\ s and yields one :class:`JobOutcome` per
+job *in completion order*. A job that raises records an error outcome (type,
+message, traceback) instead of killing the sweep — crashed cells show up in
+``SweepResult.failures()`` rather than as a dead run.
+
+Dispatch is bounded: at most ``workers × chunk_size`` futures are in flight
+at a time (each job is still submitted individually), so huge sweeps don't
+materialize thousands of pending futures up front and progress callbacks see
+a steady completion stream instead of one burst at the end.
+
+The process pool uses the ``fork`` start method where available (the kernel
+closes over nothing, but fork skips re-importing numpy per worker); thread
+pools suit kernels dominated by GIL-releasing numpy ops; serial is the
+reference implementation the parallel paths are asserted bit-identical to.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from .spec import Job
+
+__all__ = [
+    "EXECUTORS",
+    "JobOutcome",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_workers",
+    "make_executor",
+]
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job: its metrics or its failure, plus timing."""
+
+    job: Job
+    metrics: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, str]] = None
+    seconds: float = 0.0
+    from_cache: bool = False
+    worker: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def record(self) -> Dict[str, Any]:
+        """The cacheable JSON form of this outcome."""
+        return {
+            "job": self.job.spec.key(),
+            "label": self.job.label,
+            "seed": self.job.seed,
+            "metrics": self.metrics,
+            "error": self.error,
+            "seconds": self.seconds,
+        }
+
+
+def _call(fn: Callable[[Job], Dict[str, Any]], job: Job) -> JobOutcome:
+    """Run one job, capturing timing and any exception (module-level so it
+    pickles for the process pool)."""
+    start = time.perf_counter()
+    try:
+        metrics = fn(job)
+        return JobOutcome(
+            job,
+            metrics=metrics,
+            seconds=time.perf_counter() - start,
+            worker=f"pid-{os.getpid()}",
+        )
+    except Exception as exc:  # deliberate: one bad job must not kill the sweep
+        return JobOutcome(
+            job,
+            error={
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(limit=20),
+            },
+            seconds=time.perf_counter() - start,
+            worker=f"pid-{os.getpid()}",
+        )
+
+
+def default_workers() -> int:
+    """Worker count matched to the CPUs this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class SerialExecutor:
+    """In-process reference executor; parallel results must match it."""
+
+    name = "serial"
+    workers: int = 1
+
+    def run(
+        self, fn: Callable[[Job], Dict[str, Any]], jobs: Sequence[Job]
+    ) -> Iterator[JobOutcome]:
+        for job in jobs:
+            yield _call(fn, job)
+
+
+@dataclass
+class _PoolExecutor:
+    """Shared chunked-dispatch logic for thread and process pools."""
+
+    workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+
+    def _make_pool(self, n: int) -> Executor:
+        raise NotImplementedError
+
+    def run(
+        self, fn: Callable[[Job], Dict[str, Any]], jobs: Sequence[Job]
+    ) -> Iterator[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return
+        n = self.workers or default_workers()
+        n = max(1, min(n, len(jobs)))
+        chunk = self.chunk_size or max(1, min(8, len(jobs) // (2 * n) or 1))
+        with self._make_pool(n) as pool:
+            pending = set()
+            it = iter(jobs)
+            exhausted = False
+            # Keep ~chunk jobs per worker in flight; yield as they complete.
+            while pending or not exhausted:
+                while not exhausted and len(pending) < n * chunk:
+                    job = next(it, None)
+                    if job is None:
+                        exhausted = True
+                        break
+                    pending.add(pool.submit(_call, fn, job))
+                if not pending:
+                    break
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    yield fut.result()
+
+
+@dataclass
+class ThreadExecutor(_PoolExecutor):
+    name = "thread"
+
+    def _make_pool(self, n: int) -> Executor:
+        return ThreadPoolExecutor(max_workers=n, thread_name_prefix="repro-sweep")
+
+
+@dataclass
+class ProcessExecutor(_PoolExecutor):
+    name = "process"
+
+    def _make_pool(self, n: int) -> Executor:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context()
+        return ProcessPoolExecutor(max_workers=n, mp_context=ctx)
+
+
+EXECUTORS: Dict[str, Callable[..., Any]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(name: str = "auto", workers: Optional[int] = None):
+    """Build an executor by name; ``"auto"`` picks a process pool when more
+    than one CPU is available and serial otherwise (pool overhead would only
+    slow a single-CPU box down)."""
+    if name == "auto":
+        name = "process" if (workers or default_workers()) > 1 else "serial"
+    try:
+        cls = EXECUTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor {name!r}; known: auto, {', '.join(sorted(EXECUTORS))}"
+        ) from None
+    if cls is SerialExecutor:
+        return cls()
+    return cls(workers=workers)

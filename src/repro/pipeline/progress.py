@@ -1,0 +1,100 @@
+"""Lightweight sweep progress + telemetry.
+
+A :class:`ProgressTracker` counts what the runner feeds it — computed jobs,
+cache hits, failures, per-job seconds — and (optionally) renders a
+single-line ticker to a stream, rate-limited so tight cache-hit loops don't
+flood the terminal. It is deliberately dependency-free (no tqdm/rich): the
+pipeline must run in bare CI containers.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["ProgressTracker"]
+
+
+@dataclass
+class ProgressTracker:
+    """Counters + optional ticker for one sweep."""
+
+    total: int
+    stream: Optional[TextIO] = None
+    min_interval: float = 0.25
+    done: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    compute_seconds: float = 0.0
+    _started: float = field(default_factory=time.perf_counter)
+    _last_print: float = 0.0
+
+    def update(
+        self, *, from_cache: bool = False, ok: bool = True, seconds: float = 0.0,
+        label: str = "",
+    ) -> None:
+        """Record one finished job."""
+        self.done += 1
+        if from_cache:
+            self.cache_hits += 1
+        else:
+            self.computed += 1
+            self.compute_seconds += seconds
+        if not ok:
+            self.failures += 1
+        self._tick(label)
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    @property
+    def throughput(self) -> float:
+        """Jobs per wall-clock second so far."""
+        return self.done / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.done if self.done else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "elapsed_s": round(self.elapsed, 3),
+            "compute_s": round(self.compute_seconds, 3),
+            "jobs_per_s": round(self.throughput, 3),
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def _tick(self, label: str, force: bool = False) -> None:
+        if self.stream is None:
+            return
+        now = time.perf_counter()
+        if not force and self.done < self.total and now - self._last_print < self.min_interval:
+            return
+        self._last_print = now
+        msg = (
+            f"[{self.done}/{self.total}] {self.cache_hits} cached · "
+            f"{self.failures} failed · {self.throughput:.2f} jobs/s"
+        )
+        if label:
+            msg += f" · {label}"
+        end = "\n" if self.done >= self.total else "\r"
+        print(msg.ljust(78), end=end, file=self.stream, flush=True)
+
+    def finish(self) -> Dict[str, Any]:
+        """Force a final ticker line and return the summary."""
+        self._tick("", force=True)
+        return self.summary()
+
+
+def default_stream(enabled: bool) -> Optional[TextIO]:
+    return sys.stderr if enabled else None

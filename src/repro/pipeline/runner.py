@@ -1,0 +1,225 @@
+"""High-level sweep driver: spec → cache → executor → typed result.
+
+:func:`run_sweep` is the one call the benchmarks, the CLI, and the examples
+all go through. It enumerates a :class:`~repro.pipeline.spec.SweepSpec` into
+jobs, answers everything it can from the content-addressed
+:class:`~repro.pipeline.cache.ResultCache`, dispatches only the missing jobs
+to the chosen executor, persists fresh results, and returns a
+:class:`SweepResult` with the aggregation helpers the per-table/figure
+drivers pivot on.
+
+The job kernel (:func:`execute_job`) is a module-level function of the job
+alone — no closures, no shared state — so it pickles cleanly into worker
+processes and so a job's result is a pure function of its content hash.
+Its RNG is spawned from that hash (``job.spawn_seed``), which is what makes
+serial, thread, and process sweeps bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .cache import ResultCache
+from .executor import JobOutcome, make_executor
+from .progress import ProgressTracker, default_stream
+from .spec import FP_METHOD, ExperimentSpec, Job, SweepSpec
+
+__all__ = ["SweepResult", "execute_job", "run_sweep"]
+
+
+def execute_job(job: Job) -> Dict[str, Any]:
+    """The canonical job kernel: quantize one setting and evaluate it.
+
+    Everything is rebuilt from the spec inside the call (model, corpora,
+    quantizer state) and all randomness flows from the job-hash-spawned seed,
+    so the result is identical no matter which executor or worker runs it.
+    """
+    from ..eval.harness import evaluate_setting
+
+    spec = job.spec
+    return evaluate_setting(
+        family=spec.family,
+        method=spec.method,
+        w_bits=spec.w_bits,
+        act_bits=spec.act_bits,
+        quant_kwargs=dict(spec.quant_kwargs),
+        kv_bits=spec.kv_bits,
+        kv_residual=spec.kv_residual,
+        eval_sequences=spec.eval_sequences,
+        eval_seq_len=spec.eval_seq_len,
+        rng=np.random.default_rng(job.spawn_seed),
+    )
+
+
+@dataclass
+class SweepResult:
+    """Outcomes of one sweep, in job order, plus pivot/aggregation helpers."""
+
+    jobs: List[Job]
+    outcomes: List[JobOutcome]
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(o.from_cache for o in self.outcomes)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / len(self.outcomes) if self.outcomes else 0.0
+
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def metrics_by_hash(self) -> Dict[str, Optional[Dict[str, Any]]]:
+        return {o.job.job_hash: o.metrics for o in self.outcomes}
+
+    def __getitem__(self, spec: Union[ExperimentSpec, Job]) -> Dict[str, Any]:
+        """Metrics for one experiment; raises if it failed or is absent."""
+        if isinstance(spec, Job):
+            match = lambda o: o.job.job_hash == spec.job_hash
+        else:
+            key = spec.key()
+            match = lambda o: o.job.spec.key() == key
+        for o in self.outcomes:
+            if match(o):
+                if o.metrics is None:
+                    err = (o.error or {}).get("message", "missing")
+                    raise KeyError(f"job {o.job.label!r} failed: {err}")
+                return o.metrics
+        raise KeyError(f"no such job in sweep: {spec!r}")
+
+    # ---------------------------------------------------------- aggregation
+    def value(self, metric: str = "ppl", **spec_fields) -> Any:
+        """The single ``metric`` of the unique job matching ``spec_fields``
+        (e.g. ``value(family="opt-6.7b", method="rtn", w_bits=4)``)."""
+        hits = [
+            o
+            for o in self.outcomes
+            if all(getattr(o.job.spec, k) == v for k, v in spec_fields.items())
+        ]
+        if len(hits) != 1:
+            raise KeyError(f"{spec_fields} matched {len(hits)} jobs, expected 1")
+        if hits[0].metrics is None:
+            raise KeyError(f"job {hits[0].job.label!r} failed")
+        return hits[0].metrics[metric]
+
+    def as_table(
+        self, *fields: str, metric: str = "ppl", skip_failed: bool = True
+    ) -> Dict[Any, Any]:
+        """Flat dict keyed by spec-field tuples — the per-table form the
+        benchmark drivers consume (``as_table("family", "method")``)."""
+        out: Dict[Any, Any] = {}
+        for o in self.outcomes:
+            if o.metrics is None:
+                if skip_failed:
+                    continue
+                raise KeyError(f"job {o.job.label!r} failed")
+            key = tuple(getattr(o.job.spec, f) for f in fields)
+            out[key[0] if len(key) == 1 else key] = o.metrics.get(metric)
+        return out
+
+    def pivot(
+        self, row: str = "family", col: str = "method", metric: str = "ppl"
+    ) -> Dict[Any, Dict[Any, Any]]:
+        """Nested ``{row_value: {col_value: metric}}`` — the per-figure form."""
+        out: Dict[Any, Dict[Any, Any]] = {}
+        for o in self.outcomes:
+            if o.metrics is None:
+                continue
+            r = getattr(o.job.spec, row)
+            c = getattr(o.job.spec, col)
+            out.setdefault(r, {})[c] = o.metrics.get(metric)
+        return out
+
+    def by_label(self, metric: Optional[str] = None) -> Dict[str, Any]:
+        """``{job label: metrics (or one metric)}`` for explicit-step sweeps."""
+        out: Dict[str, Any] = {}
+        for o in self.outcomes:
+            if o.metrics is not None:
+                out[o.job.label] = o.metrics if metric is None else o.metrics.get(metric)
+        return out
+
+    def records(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of per-job records (spec key + metrics/error)."""
+        return [
+            dict(o.record(), hash=o.job.job_hash, from_cache=o.from_cache)
+            for o in self.outcomes
+        ]
+
+
+def run_sweep(
+    sweep: Union[SweepSpec, Sequence[ExperimentSpec]],
+    cache_dir: Optional[str] = None,
+    executor: str = "auto",
+    workers: Optional[int] = None,
+    progress: bool = False,
+    recompute: bool = False,
+    kernel: Callable[[Job], Dict[str, Any]] = execute_job,
+) -> SweepResult:
+    """Run every job of ``sweep``, computing only what the cache lacks.
+
+    Args:
+        sweep: a :class:`SweepSpec` or an explicit list of
+            :class:`ExperimentSpec` steps.
+        cache_dir: directory of the content-addressed result store; ``None``
+            disables persistence (everything recomputes).
+        executor: ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``.
+        workers: pool width (defaults to the usable CPU count).
+        progress: print a live ticker to stderr.
+        recompute: ignore cached entries (but still refresh them on disk).
+        kernel: job function — override for testing only.
+    """
+    if not isinstance(sweep, SweepSpec):
+        sweep = SweepSpec.from_specs(sweep)
+    jobs = sweep.jobs()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    tracker = ProgressTracker(total=len(jobs), stream=default_stream(progress))
+
+    outcomes: Dict[str, JobOutcome] = {}
+    pending: List[Job] = []
+    for job in jobs:
+        record = None if (cache is None or recompute) else cache.get(job.job_hash)
+        if record is not None and record.get("metrics") is not None:
+            outcomes[job.job_hash] = JobOutcome(
+                job,
+                metrics=record["metrics"],
+                seconds=float(record.get("seconds", 0.0)),
+                from_cache=True,
+            )
+            tracker.update(from_cache=True, label=job.label)
+        else:
+            pending.append(job)
+
+    if pending:
+        # One pending job can't use a pool; don't pay fork/setup for it.
+        name = "serial" if (executor == "auto" and len(pending) == 1) else executor
+        pool = make_executor(name, workers)
+        for outcome in pool.run(kernel, pending):
+            outcomes[outcome.job.job_hash] = outcome
+            # Failures are never cached: a fixed kernel or environment should
+            # recompute them on the next sweep instead of replaying the error.
+            if cache is not None and outcome.ok:
+                cache.put(outcome.job.job_hash, outcome.record())
+            tracker.update(
+                from_cache=False,
+                ok=outcome.ok,
+                seconds=outcome.seconds,
+                label=outcome.job.label,
+            )
+
+    telemetry = tracker.finish()
+    telemetry["executor"] = executor
+    return SweepResult(
+        jobs=jobs,
+        outcomes=[outcomes[j.job_hash] for j in jobs],
+        telemetry=telemetry,
+    )

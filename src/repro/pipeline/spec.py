@@ -1,0 +1,305 @@
+"""Declarative experiment specs and their enumeration into hashable jobs.
+
+An :class:`ExperimentSpec` pins down ONE experiment completely: which model
+family, which quantization method (any :mod:`repro.baselines.registry` entry,
+``"fp16"`` for the full-precision reference), the bit setting, optional
+method-specific knobs, optional KV-cache quantization, and the evaluation
+corpus size. A :class:`SweepSpec` describes a *grid* — the cross-product of
+models × methods × weight/activation bits × outlier formats × group sizes —
+and enumerates it into a list of :class:`Job`\\ s.
+
+A :class:`Job` is the atomic unit of work the executor dispatches and the
+cache keys on. Its identity is a stable SHA-256 over the canonical JSON of
+the spec plus the ``repro`` version and the sweep seed — *not* Python's
+``hash()``, so it is identical across processes, interpreter restarts, and
+``PYTHONHASHSEED`` values. The per-job RNG seed is spawned from that hash,
+which is what makes serial and parallel sweeps bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FP_METHOD",
+    "ExperimentSpec",
+    "Job",
+    "SweepSpec",
+    "known_methods",
+]
+
+FP_METHOD = "fp16"
+
+# Methods whose group size is the MicroScopiQ macro-block (a config field);
+# everything else takes a plain ``group_size=`` keyword except GOBO, whose
+# bucketing is global and has no group knob.
+_CONFIG_METHODS = ("microscopiq", "omni-microscopiq")
+_NO_GROUP_KW = ("gobo", FP_METHOD)
+
+
+def known_methods() -> List[str]:
+    """Registry methods plus the full-precision reference."""
+    from ..baselines.registry import QUANTIZERS
+
+    return [FP_METHOD] + sorted(QUANTIZERS)
+
+
+def _canonical(obj: Any) -> Any:
+    """Normalize to JSON-stable primitives (tuples → lists, sorted dicts)."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"unhashable spec value {obj!r} ({type(obj).__name__})")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-specified experiment (model × method × setting).
+
+    Attributes:
+        family: model family name from :data:`repro.models.MODEL_FAMILIES`.
+        method: quantizer registry name, or ``"fp16"`` for no quantization.
+        w_bits: weight bit-width (ignored for ``fp16``).
+        act_bits: activation bit-width, or ``None`` for weight-only.
+        quant_kwargs: extra method keywords as a sorted item tuple — for
+            MicroScopiQ these are :class:`~repro.quant.MicroScopiQConfig`
+            fields, for other baselines plain quantizer keywords.
+        kv_bits / kv_residual: optional KIVI-style KV-cache quantization
+            applied at evaluation time.
+        eval_sequences / eval_seq_len: evaluation corpus shape.
+        label: free-form tag carried through to results (not hashed).
+    """
+
+    family: str
+    method: str = FP_METHOD
+    w_bits: int = 4
+    act_bits: Optional[int] = None
+    quant_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    kv_bits: Optional[int] = None
+    kv_residual: int = 128
+    eval_sequences: int = 32
+    eval_seq_len: int = 32
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.quant_kwargs, dict):
+            object.__setattr__(
+                self, "quant_kwargs", tuple(sorted(self.quant_kwargs.items()))
+            )
+        _canonical(dict(self.quant_kwargs))  # validate hashability early
+
+    def key(self) -> Dict[str, Any]:
+        """Canonical identity dict — everything that defines the result.
+
+        Fields the kernel ignores for this method (bit widths and quantizer
+        kwargs under ``fp16``) are normalized away so equivalent experiments
+        share one content hash — that is what lets overlapping sweeps serve
+        the FP reference column from cache.
+        """
+        fp = self.method == FP_METHOD
+        return _canonical(
+            {
+                "family": self.family,
+                "method": self.method,
+                "w_bits": None if fp else self.w_bits,
+                "act_bits": None if fp else self.act_bits,
+                "quant_kwargs": {} if fp else dict(self.quant_kwargs),
+                "kv_bits": self.kv_bits,
+                "kv_residual": self.kv_residual if self.kv_bits is not None else None,
+                "eval_sequences": self.eval_sequences,
+                "eval_seq_len": self.eval_seq_len,
+            }
+        )
+
+    def with_(self, **kwargs) -> "ExperimentSpec":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class Job:
+    """A dispatchable unit: one spec + the sweep seed + its content hash."""
+
+    spec: ExperimentSpec
+    seed: int = 0
+    version: str = ""
+
+    @property
+    def job_hash(self) -> str:
+        """Stable SHA-256 of (spec key, repro version, sweep seed)."""
+        if self.version:
+            version = self.version
+        else:
+            from .. import __version__ as version
+        payload = {"spec": self.spec.key(), "version": version, "seed": self.seed}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @property
+    def spawn_seed(self) -> int:
+        """Deterministic per-job RNG seed, spawned from the job hash.
+
+        Serial, threaded, and process-pool executors all hand the job kernel
+        the same seed, so any stochastic step inside a job draws an identical
+        stream regardless of scheduling — bit-identical sweeps.
+        """
+        return int(self.job_hash[:16], 16)
+
+    @property
+    def label(self) -> str:
+        return self.spec.label or describe(self.spec)
+
+
+def describe(spec: ExperimentSpec) -> str:
+    """Short human-readable job name, e.g. ``llama3-8b/microscopiq W2A8``.
+
+    Includes every identity field beyond the family/method/bits triple
+    (quant kwargs as ``g64``/``k=v``, KV setting, non-default eval shape):
+    two distinct settings in one sweep must never share a label, since the
+    CLI pivot and ``SweepResult.by_label`` key on it.
+    """
+    if spec.method == FP_METHOD:
+        setting = "W16A16"
+    else:
+        setting = f"W{spec.w_bits}A{spec.act_bits if spec.act_bits else 16}"
+    extra = f"+kv{spec.kv_bits}r{spec.kv_residual}" if spec.kv_bits else ""
+    parts = []
+    if spec.method != FP_METHOD:
+        for k, v in spec.quant_kwargs:
+            if k in ("group_size", "macro_block"):
+                parts.append(f"g{v}")
+            else:
+                parts.append(f"{k}={v}")
+    if (spec.eval_sequences, spec.eval_seq_len) != (32, 32):
+        parts.append(f"ev{spec.eval_sequences}x{spec.eval_seq_len}")
+    kwargs = f" [{','.join(parts)}]" if parts else ""
+    return f"{spec.family}/{spec.method} {setting}{extra}{kwargs}"
+
+
+def _config_field_names() -> set:
+    from dataclasses import fields
+
+    from ..quant.config import MicroScopiQConfig
+
+    return {f.name for f in fields(MicroScopiQConfig)}
+
+
+def _group_kwargs(method: str, group_size: Optional[int]) -> Dict[str, Any]:
+    """How ``method`` consumes a group size (config field, kw, or not at all)."""
+    if group_size is None:
+        return {}
+    if method in _CONFIG_METHODS:
+        return {"macro_block": int(group_size)}
+    if method in _NO_GROUP_KW:
+        return {}
+    return {"group_size": int(group_size)}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of experiments: the cross-product of the axes below.
+
+    ``group_sizes`` maps onto each method's natural group knob (MicroScopiQ
+    macro-block vs. baseline ``group_size``); ``outlier_formats`` applies to
+    MicroScopiQ-family methods only. ``None`` in either axis means "method
+    default" and attaches nothing.
+    """
+
+    families: Tuple[str, ...]
+    methods: Tuple[str, ...]
+    w_bits: Tuple[int, ...] = (4,)
+    act_bits: Tuple[Optional[int], ...] = (None,)
+    group_sizes: Tuple[Optional[int], ...] = (None,)
+    outlier_formats: Tuple[Optional[str], ...] = (None,)
+    quant_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    kv_bits: Optional[int] = None
+    kv_residual: int = 128
+    eval_sequences: int = 32
+    eval_seq_len: int = 32
+    seed: int = 0
+    extra_specs: Tuple[ExperimentSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for ax in ("families", "methods", "w_bits", "act_bits", "group_sizes",
+                   "outlier_formats", "extra_specs"):
+            val = getattr(self, ax)
+            if not isinstance(val, tuple):
+                object.__setattr__(self, ax, tuple(val))
+        if isinstance(self.quant_kwargs, dict):
+            object.__setattr__(
+                self, "quant_kwargs", tuple(sorted(self.quant_kwargs.items()))
+            )
+        from ..models import MODEL_FAMILIES
+
+        for fam in self.families:
+            if fam not in MODEL_FAMILIES:
+                known = ", ".join(MODEL_FAMILIES)
+                raise KeyError(f"unknown family {fam!r}; known: {known}")
+        valid = set(known_methods())
+        for m in self.methods:
+            if m not in valid:
+                raise KeyError(
+                    f"unknown method {m!r}; known: {', '.join(sorted(valid))}"
+                )
+
+    def specs(self) -> List[ExperimentSpec]:
+        """Enumerate the grid (plus ``extra_specs``), de-duplicated."""
+        out: List[ExperimentSpec] = []
+        seen = set()
+        grid = itertools.product(
+            self.families, self.methods, self.w_bits, self.act_bits,
+            self.group_sizes, self.outlier_formats,
+        )
+        config_fields = _config_field_names() if self.quant_kwargs else set()
+        for fam, method, wb, ab, gs, ofmt in grid:
+            kw = dict(self.quant_kwargs)
+            if method == FP_METHOD:
+                kw = {}  # the FP reference ignores quantizer knobs entirely
+            elif method not in _CONFIG_METHODS:
+                # Sweep-level MicroScopiQConfig knobs only apply to the
+                # MicroScopiQ methods; other baselines would reject them, so
+                # the grid routes them per method, like group_sizes.
+                kw = {k: v for k, v in kw.items() if k not in config_fields}
+            kw.update(_group_kwargs(method, gs))
+            if ofmt is not None and method in _CONFIG_METHODS:
+                kw["outlier_format"] = ofmt
+            spec = ExperimentSpec(
+                family=fam,
+                method=method,
+                w_bits=wb,
+                act_bits=None if method == FP_METHOD else ab,
+                quant_kwargs=tuple(sorted(kw.items())),
+                kv_bits=self.kv_bits,
+                kv_residual=self.kv_residual,
+                eval_sequences=self.eval_sequences,
+                eval_seq_len=self.eval_seq_len,
+            )
+            k = json.dumps(spec.key(), sort_keys=True)
+            if k not in seen:
+                seen.add(k)
+                out.append(spec)
+        for spec in self.extra_specs:
+            k = json.dumps(spec.key(), sort_keys=True)
+            if k not in seen:
+                seen.add(k)
+                out.append(spec)
+        return out
+
+    def jobs(self, version: str = "") -> List[Job]:
+        """The grid as dispatchable, content-hashed jobs."""
+        return [Job(spec, seed=self.seed, version=version) for spec in self.specs()]
+
+    @staticmethod
+    def from_specs(
+        specs: Iterable[ExperimentSpec], seed: int = 0, **kwargs
+    ) -> "SweepSpec":
+        """A sweep that is just an explicit list of experiments (no grid)."""
+        return SweepSpec(
+            families=(), methods=(), extra_specs=tuple(specs), seed=seed, **kwargs
+        )

@@ -211,24 +211,43 @@ def quantize_matrix(
             qb = codes * scale[:, None]
 
             rows = np.nonzero(ub_omask.any(axis=1))[0]
+            if len(rows):
+                # Saliency for the whole μB at once; the per-row prune choice
+                # for the sort-based strategies is one masked stable argsort
+                # (outliers pushed to the end with +inf) instead of a
+                # setdiff1d + fancy-index + argsort per row — the sweep
+                # profile's hottest Python loop.
+                if config.prune_strategy == "hessian" and have_h:
+                    sal_ub = wb**2 / hinv_diag[u_lo:u_hi][None, :]
+                else:
+                    sal_ub = np.abs(wb)
+                if config.prune_strategy in ("hessian", "magnitude"):
+                    order_ub = np.argsort(
+                        np.where(ub_omask, np.inf, sal_ub), axis=1, kind="stable"
+                    )
+                else:
+                    order_ub = None
             for r in rows:
                 local_out = np.nonzero(ub_omask[r])[0]
-                if len(local_out) > cap:
+                demoted = len(local_out) > cap
+                if demoted:
                     # Demote the smallest-magnitude outliers to inliers
                     # (the "outlier pruning" regime of Fig. 14 at tiny B_μ).
                     mags = np.abs(wb[r, local_out])
                     keep = local_out[np.argsort(-mags, kind="stable")[:cap]]
                     local_out = np.sort(keep)
                 n = len(local_out)
-                all_pos = np.arange(u_hi - u_lo)
-                inlier_pos = np.setdiff1d(all_pos, local_out)
-                if config.prune_strategy == "hessian" and have_h:
-                    sal = wb[r] ** 2 / hinv_diag[u_lo:u_hi]
+                if order_ub is not None and not demoted:
+                    # First n entries = the n least-salient inliers, in the
+                    # same stable order _select_prune_positions produces.
+                    k = min(n, (u_hi - u_lo) - n)
+                    prune_pos = [int(p) for p in order_ub[r, :k]]
                 else:
-                    sal = np.abs(wb[r])
-                prune_pos = _select_prune_positions(
-                    config.prune_strategy, n, inlier_pos, local_out, sal
-                )
+                    all_pos = np.arange(u_hi - u_lo)
+                    inlier_pos = np.setdiff1d(all_pos, local_out)
+                    prune_pos = _select_prune_positions(
+                        config.prune_strategy, n, inlier_pos, local_out, sal_ub[r]
+                    )
 
                 deq, l1, mu_x = _quantize_outlier_group(
                     wb[r, local_out], config, int(isf[r])

@@ -1,0 +1,64 @@
+"""The ``repro-sweep`` command line: sweep, show, clean."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.pipeline.cli import main
+
+
+def test_cli_sweep_show_clean_cycle(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    out_json = str(tmp_path / "records.json")
+    argv = [
+        "sweep",
+        "--families", "opt-6.7b",
+        "--methods", "fp16", "rtn",
+        "--w-bits", "4",
+        "--eval-sequences", "8", "--eval-seq-len", "24",
+        "--cache-dir", cache,
+        "--executor", "serial",
+        "--json", out_json,
+        "--quiet",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "2/2 jobs" in first and "0 cache hits" in first
+    assert "rtn" in first and "opt-6.7b" in first
+
+    with open(out_json) as f:
+        dump = json.load(f)
+    assert dump["telemetry"]["failures"] == 0
+    assert {r["job"]["method"] for r in dump["records"]} == {"fp16", "rtn"}
+    assert all(r["metrics"]["ppl"] > 0 for r in dump["records"])
+
+    # Identical re-run is answered from the cache.
+    assert main(argv) == 0
+    assert "2 cache hits" in capsys.readouterr().out
+
+    assert main(["show", "--cache-dir", cache]) == 0
+    shown = capsys.readouterr().out
+    assert "2 results" in shown and "ppl=" in shown
+
+    assert main(["clean", "--cache-dir", cache]) == 0
+    assert "removed 2" in capsys.readouterr().out
+    assert main(["show", "--cache-dir", cache]) == 0
+    assert "0 results" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_method_and_family(tmp_path, capsys):
+    rc = main(["sweep", "--families", "opt-6.7b", "--methods", "warp-drive",
+               "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "unknown method" in capsys.readouterr().err
+    rc = main(["sweep", "--families", "gpt-9", "--methods", "rtn",
+               "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "unknown family" in capsys.readouterr().err
+
+
+def test_cli_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
