@@ -63,6 +63,11 @@ class PplCache:
         self._cache_dir = cache_dir
         self._metrics: dict = {}
 
+    @property
+    def cache_dir(self) -> str | None:
+        """The on-disk store path — shared with non-LM substrate sweeps."""
+        return self._cache_dir
+
     @staticmethod
     def _key(spec: ExperimentSpec) -> str:
         return json.dumps(spec.key(), sort_keys=True)

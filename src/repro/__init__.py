@@ -28,7 +28,7 @@ from .core import (
     quantize_model,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MicroScopiQConfig",

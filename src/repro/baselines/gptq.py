@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..quant.hessian import cholesky_inverse_factor, layer_hessian
+from ..quant.kernel import BlockQuantKernel
 from .base import BaselineResult, group_float_scale
 
 __all__ = ["quantize_gptq", "gptq_core"]
@@ -26,29 +27,27 @@ def gptq_core(
     """Column-sequential GPTQ supporting a per-column bit-width.
 
     ``bits_per_col [d_in]`` lets Atom-style mixed-precision reuse the same
-    engine (outlier channels at 8 bits, the rest at 4).
+    engine (outlier channels at 8 bits, the rest at 4). Group scales (float,
+    per ``group_size`` columns) are recomputed from the *updated* weights at
+    each group boundary; error propagation is the shared OBS stage on
+    :class:`BlockQuantKernel` (single-column blocks = plain GPTQ).
     """
     w = np.array(weights, dtype=np.float64)
     d_out, d_in = w.shape
     u = cholesky_inverse_factor(hessian)
     q = np.zeros_like(w)
-    scale = None
-    group_bits = None
-    for p in range(d_in):
-        if p % group_size == 0:
-            hi = min(p + group_size, d_in)
-            group_bits = int(bits_per_col[p])
-            scale = group_float_scale(w[:, p:hi], group_bits, clip_ratio)[:, 0]
-        bits = int(bits_per_col[p])
-        maxq = 2 ** (bits - 1) - 1
-        # A column with more bits than the group reference keeps the group
-        # scale but uses its own wider clip range.
-        col_scale = scale * (2 ** (group_bits - 1) - 1) / maxq if bits != group_bits else scale
-        qc = np.clip(np.rint(w[:, p] / col_scale), -maxq, maxq) * col_scale
-        q[:, p] = qc
-        err = (w[:, p] - qc) / u[p, p]
-        if p + 1 < d_in:
-            w[:, p + 1 :] -= np.outer(err, u[p, p + 1 :])
+    kernel = BlockQuantKernel(group_size, detect_outliers=False)
+    for lo, hi in kernel.blocks(d_in):
+        group_bits = int(bits_per_col[lo])
+        scale = group_float_scale(w[:, lo:hi], group_bits, clip_ratio)[:, 0]
+        for p in range(lo, hi):
+            bits = int(bits_per_col[p])
+            maxq = 2 ** (bits - 1) - 1
+            # A column with more bits than the group reference keeps the group
+            # scale but uses its own wider clip range.
+            col_scale = scale * (2 ** (group_bits - 1) - 1) / maxq if bits != group_bits else scale
+            q[:, p] = np.clip(np.rint(w[:, p] / col_scale), -maxq, maxq) * col_scale
+            kernel.propagate_block_error(w, q, u, p, p + 1)
     return q
 
 
@@ -58,14 +57,20 @@ def quantize_gptq(
     bits: int = 4,
     group_size: int = 128,
     damp_ratio: float = 0.01,
+    hessian: np.ndarray | None = None,
 ) -> BaselineResult:
-    """Uniform-precision GPTQ. Falls back to RTN math if no calibration."""
+    """Uniform-precision GPTQ. Falls back to RTN math if no calibration.
+
+    A precomputed ``hessian`` (e.g. from the engine's
+    :class:`~repro.quant.engine.HessianStore`) skips the ``X^T X`` build.
+    """
     w = np.asarray(weights, dtype=np.float64)
     d_in = w.shape[1]
-    if calib_inputs is None:
-        hessian = np.eye(d_in)
-    else:
-        hessian = layer_hessian(calib_inputs, damp_ratio)
+    if hessian is None:
+        if calib_inputs is None:
+            hessian = np.eye(d_in)
+        else:
+            hessian = layer_hessian(calib_inputs, damp_ratio)
     bits_per_col = np.full(d_in, bits, dtype=np.int32)
     dq = gptq_core(w, hessian, bits_per_col, group_size)
     return BaselineResult("gptq", dq, float(bits), {"group_size": group_size})

@@ -22,12 +22,13 @@ def _quantize_best(
     w: np.ndarray,
     calib_inputs: np.ndarray | None,
     configs: tuple[MicroScopiQConfig, ...],
+    hessian: np.ndarray | None = None,
 ):
     """Quantize with each candidate config, keep the calibration-error
     minimizer (the grid-search equivalent of OmniQuant's learned choice)."""
     best = None
     for cfg in configs:
-        packed = quantize_matrix(w, calib_inputs, cfg)
+        packed = quantize_matrix(w, calib_inputs, cfg, hessian=hessian)
         if calib_inputs is None or len(configs) == 1:
             return packed
         err = packed.reconstruction_error(w, calib_inputs)
@@ -43,11 +44,15 @@ def _run(
     configs: tuple[MicroScopiQConfig, ...],
     act_bits: int | None,
     alpha_grid: tuple[float, ...],
+    hessian: np.ndarray | None = None,
 ) -> BaselineResult:
     w = np.asarray(weights, dtype=np.float64)
 
     if act_bits is None or calib_inputs is None:
-        packed = _quantize_best(w, calib_inputs, configs)
+        # Weight-only: a store-provided Hessian short-circuits the X^T X
+        # build. The migration path below rescales the inputs per α, so a
+        # precomputed Hessian would no longer match and is not used there.
+        packed = _quantize_best(w, calib_inputs, configs, hessian=hessian)
         return BaselineResult(name, packed.dequant, packed.ebw(), {"packed": packed})
 
     x = np.asarray(calib_inputs, dtype=np.float64)
@@ -77,10 +82,14 @@ def quantize_microscopiq_baseline(
     bits: int = 4,
     act_bits: int | None = None,
     config: MicroScopiQConfig | None = None,
+    hessian: np.ndarray | None = None,
 ) -> BaselineResult:
     """MicroScopiQ in baseline clothing. α fixed at 0.7 per the paper."""
     config = config or MicroScopiQConfig(inlier_bits=bits)
-    return _run("microscopiq", weights, calib_inputs, (config,), act_bits, (0.7,))
+    return _run(
+        "microscopiq", weights, calib_inputs, (config,), act_bits, (0.7,),
+        hessian=hessian,
+    )
 
 
 def quantize_omni_microscopiq(
@@ -89,6 +98,7 @@ def quantize_omni_microscopiq(
     bits: int = 4,
     act_bits: int | None = None,
     config: MicroScopiQConfig | None = None,
+    hessian: np.ndarray | None = None,
 ) -> BaselineResult:
     """Omni-MicroScopiQ (Table 8): LWC inlier scales + LET α search.
 
@@ -105,4 +115,5 @@ def quantize_omni_microscopiq(
         (base.with_(lwc=True), base),
         act_bits,
         (0.5, 0.6, 0.7, 0.8),
+        hessian=hessian,
     )

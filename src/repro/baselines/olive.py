@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..quant.outliers import outlier_mask
+from ..quant.kernel import BlockQuantKernel
 from .base import BaselineResult, group_float_scale
 
 __all__ = ["quantize_olive"]
@@ -50,10 +50,10 @@ def quantize_olive(
     dq = np.empty_like(w)
     n_victim_outliers = 0
 
-    for g in range(0, d_in, group_size):
-        sl = slice(g, min(g + group_size, d_in))
-        block = w[:, sl]
-        omask = outlier_mask(block, sigma_threshold, axis=-1)
+    kernel = BlockQuantKernel(group_size, sigma_threshold)
+    for lo, hi in kernel.blocks(d_in):
+        block = w[:, lo:hi]
+        omask = kernel.separate(block)
         scale = group_float_scale(np.where(omask, 0.0, block), bits)
         q = np.clip(np.rint(block / scale), -maxq, maxq) * scale
 
@@ -72,7 +72,7 @@ def quantize_olive(
                         n_victim_outliers += 1
                     q[r, victim] = 0.0
                     victims.add(victim)
-        dq[:, sl] = q
+        dq[:, lo:hi] = q
 
     return BaselineResult(
         "olive",

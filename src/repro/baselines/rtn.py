@@ -14,7 +14,20 @@ def quantize_rtn(
     calib_inputs: np.ndarray | None = None,
     bits: int = 4,
     group_size: int = 128,
+    per_tensor: bool = False,
 ) -> BaselineResult:
-    """Symmetric per-group RTN with a float scale. Ignores calibration data."""
+    """Symmetric per-group RTN with a float scale. Ignores calibration data.
+
+    ``per_tensor=True`` collapses to one static scale for the whole matrix —
+    the QMamba-class baseline of Table 4, where a single large outlier sets
+    the step size for every weight.
+    """
+    if per_tensor:
+        w = np.asarray(weights, dtype=np.float64)
+        maxq = 2 ** (bits - 1) - 1
+        amax = float(np.max(np.abs(w)))
+        scale = amax / maxq if amax > 0.0 else 1.0
+        dq = np.clip(np.rint(w / scale), -maxq, maxq) * scale
+        return BaselineResult("rtn", dq, float(bits), {"per_tensor": 1})
     dq = rtn_group_quantize(weights, bits, group_size)
     return BaselineResult("rtn", dq, float(bits), {"group_size": group_size})

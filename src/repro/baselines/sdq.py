@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..quant.outliers import outlier_mask
+from ..quant.kernel import BlockQuantKernel
 from .omniquant import _lwc_quantize
 from .base import BaselineResult, rtn_group_quantize
 
@@ -43,18 +43,18 @@ def quantize_sdq(
     # tensor and inflate its scale, and blocks without outliers waste their
     # reserved slots — both are SDQ's published limitations.
     omask = np.zeros(w.shape, dtype=bool)
-    for g in range(0, d_in, group_size):
-        sl = slice(g, min(g + group_size, d_in))
-        omask[:, sl] = outlier_mask(w[:, sl], 3.0, axis=-1)
+    kernel = BlockQuantKernel(group_size)
+    for lo, hi in kernel.blocks(d_in):
+        omask[:, lo:hi] = kernel.separate(w[:, lo:hi])
     sparse_mask = np.zeros(w.shape, dtype=bool)
-    for g in range(0, d_in, sparse_m):
-        sl = slice(g, min(g + sparse_m, d_in))
-        block = np.where(omask[:, sl], np.abs(w[:, sl]), 0.0)
+    pattern = BlockQuantKernel(sparse_m, detect_outliers=False)
+    for lo, hi in pattern.blocks(d_in):
+        block = np.where(omask[:, lo:hi], np.abs(w[:, lo:hi]), 0.0)
         n_keep = min(sparse_n, block.shape[1])
         top = np.argsort(-block, axis=1, kind="stable")[:, :n_keep]
         picked = np.zeros_like(block, dtype=bool)
         np.put_along_axis(picked, top, True, axis=1)
-        sparse_mask[:, sl] = picked & (block > 0.0)
+        sparse_mask[:, lo:hi] = picked & (block > 0.0)
 
     dense_part = np.where(sparse_mask, 0.0, w)
     dense_q = _lwc_quantize(dense_part, None, bits, group_size)

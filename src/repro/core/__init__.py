@@ -4,11 +4,16 @@ The paper's primary contribution — outlier-aware microscaling quantization
 with pruning-based bit redistribution — is exposed here:
 
 * :class:`MicroScopiQConfig` / :func:`quantize_matrix` — quantize one
-  weight matrix (Algorithm 1);
+  weight matrix (Algorithm 1), staged over the shared
+  :class:`~repro.quant.kernel.BlockQuantKernel`;
 * :class:`PackedLayer` — the quantized representation (code grid + MXScale
   + permutation lists) with dequantization and EBW accounting;
 * :func:`quantize_model` — whole-model PTQ over any substrate implementing
-  the linear-layer protocol;
+  the linear-layer protocol, scheduled by :mod:`repro.quant.engine`
+  (grouped calibration, Hessian store, parallel layer dispatch);
+* :class:`Substrate` / :data:`SUBSTRATES` — the protocol behind that duck
+  typing and the registry of workload classes (LM / VLM / CNN / SSM) with
+  their builders, calibration sets, and task metrics;
 * the accelerator co-design lives in :mod:`repro.accelerator`, the GPU
   cost model in :mod:`repro.gpu`.
 
@@ -25,14 +30,37 @@ Quickstart::
 
 from ..eval.harness import QuantizationReport, quantize_model
 from ..quant.config import MicroScopiQConfig
+from ..quant.engine import HessianStore, default_hessian_store
 from ..quant.microscopiq import quantize_matrix, quantize_microscopiq
 from ..quant.packed import PackedLayer
+from .substrate import (
+    SUBSTRATES,
+    Substrate,
+    SubstrateSpec,
+    calibration_groups,
+    get_substrate,
+    known_substrates,
+    register_substrate,
+    substrate_families,
+    substrate_for_model,
+)
 
 __all__ = [
+    "HessianStore",
     "MicroScopiQConfig",
     "PackedLayer",
     "QuantizationReport",
+    "SUBSTRATES",
+    "Substrate",
+    "SubstrateSpec",
+    "calibration_groups",
+    "default_hessian_store",
+    "get_substrate",
+    "known_substrates",
     "quantize_matrix",
     "quantize_microscopiq",
     "quantize_model",
+    "register_substrate",
+    "substrate_families",
+    "substrate_for_model",
 ]

@@ -1,52 +1,29 @@
-"""Model-level quantization driver and the pipeline's job kernel.
+"""The pipeline's job kernel, on top of the substrate-generic engine.
 
-``quantize_model`` walks every linear layer of a :class:`TransformerLM`,
-collects that layer's calibration activations (from the *progressively
-quantized* model, as GPTQ-style pipelines do: layer ``l`` calibrates on the
-outputs of already-quantized layers ``< l``), quantizes with the requested
-method, and installs the dequantized override plus activation fake-quantizer
-when a weight-activation setting is requested.
+``quantize_model`` is a thin compatibility wrapper over
+:func:`repro.quant.engine.quantize_model` — the engine owns calibration
+grouping, the Hessian store, and executor dispatch; any model implementing
+the :class:`~repro.core.substrate.Substrate` protocol quantizes through it.
 
 ``evaluate_setting`` is the self-contained experiment kernel the
-:mod:`repro.pipeline` executors dispatch: build the model, quantize one
-setting, evaluate perplexity (plus a bootstrap uncertainty), and return a
-plain metrics dict. It rebuilds everything from its arguments and takes its
-randomness from the caller-provided generator, so a given (spec, seed) pair
-produces the same metrics in any process.
+:mod:`repro.pipeline` executors dispatch: build the model of any registered
+substrate (LM / VLM / CNN / SSM), quantize one setting, evaluate the
+substrate's task metric (perplexity / caption score / top-1 / sequence NLL),
+and return a plain metrics dict. It rebuilds everything from its arguments
+and takes its randomness from the caller-provided generator, so a given
+(spec, seed) pair produces the same metrics in any process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import fields as dataclass_fields
 from typing import Any, Dict, Optional
 
 import numpy as np
 
-from ..baselines.registry import get_quantizer
-from ..models.transformer import TransformerLM
-from ..quant.activation import ActivationQuantizer
-from .corpus import calibration_tokens
+from ..quant.engine import QuantizationReport, quantize_model as _engine_quantize_model
 
 __all__ = ["QuantizationReport", "evaluate_setting", "quantize_model"]
-
-# Methods whose signature accepts act_bits (they manage their own migration).
-_ACT_AWARE = {"smoothquant", "omniquant", "atom", "microscopiq", "omni-microscopiq"}
-
-
-@dataclass
-class QuantizationReport:
-    """What happened when a model was quantized."""
-
-    method: str
-    w_bits: int
-    act_bits: Optional[int]
-    layer_ebw: Dict[str, float] = field(default_factory=dict)
-    layer_meta: Dict[str, dict] = field(default_factory=dict)
-
-    @property
-    def mean_ebw(self) -> float:
-        vals = list(self.layer_ebw.values())
-        return float(np.mean(vals)) if vals else 0.0
 
 
 def quantize_model(
@@ -55,52 +32,21 @@ def quantize_model(
     w_bits: int,
     act_bits: Optional[int] = None,
     calib=None,
-    **quantizer_kwargs,
+    **kwargs,
 ) -> QuantizationReport:
     """Quantize every linear of ``model`` in place (via overrides).
 
-    ``model`` is anything implementing the quantization protocol
-    (``linear_names``, ``weights``, ``collect_calibration``,
-    ``set_override``, ``act_quant``, ``clear_overrides``) — the
-    transformer LM, VLM, CNN, and SSM substrates all do. Re-entrant:
-    clears any previous overrides first. For LMs, ``calib`` defaults to
-    the family's standard calibration token set; other substrates must
-    pass their own calibration inputs.
+    Thin wrapper over :func:`repro.quant.engine.quantize_model`; engine
+    scheduling knobs (``calibration=``, ``dispatch=``, ``workers=``,
+    ``hessian_store=``, ``groups=``) pass through, everything else goes to
+    the quantizer.
     """
-    model.clear_overrides()
-    quantizer = get_quantizer(method)
-    if calib is None:
-        if not isinstance(model, TransformerLM):
-            raise ValueError(
-                f"{type(model).__name__} has no default calibration set; pass calib="
-            )
-        calib = calibration_tokens(model)
-    report = QuantizationReport(method, w_bits, act_bits)
-
-    for name in model.linear_names:
-        # Calibration activations reflect already-installed overrides of
-        # earlier layers (sequential PTQ).
-        acts = model.collect_calibration(calib)[name]
-        w = model.weights[name]
-        kwargs = dict(quantizer_kwargs)
-        if act_bits is not None and method in _ACT_AWARE:
-            kwargs["act_bits"] = act_bits
-        result = quantizer(w, acts, bits=w_bits, **kwargs)
-        model.set_override(name, result.dequant)
-        act_q = result.meta.get("act_quantizer")
-        if act_bits is not None and act_q is None:
-            act_q = ActivationQuantizer(None, act_bits)
-        if act_q is not None:
-            model.act_quant[name] = act_q
-        report.layer_ebw[name] = result.ebw
-        report.layer_meta[name] = {
-            k: v for k, v in result.meta.items() if isinstance(v, (int, float, str))
-        }
-    return report
+    return _engine_quantize_model(
+        model, method, w_bits, act_bits=act_bits, calib=calib, **kwargs
+    )
 
 
 _FP_METHOD = "fp16"
-_BOOTSTRAP_RESAMPLES = 64
 
 
 def _split_quant_kwargs(method: str, quant_kwargs: Dict[str, Any], w_bits: int):
@@ -137,48 +83,59 @@ def evaluate_setting(
     eval_sequences: int = 32,
     eval_seq_len: int = 32,
     rng: Optional[np.random.Generator] = None,
+    substrate: str = "lm",
+    calibration: str = "sequential",
+    eval_kwargs: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Quantize one (family × method × setting) and evaluate it end to end.
+    """Quantize one (substrate × family × method × setting) and evaluate it.
 
     This is the pipeline's job kernel: a pure function of its arguments.
+    ``substrate`` selects the workload class from the
+    :data:`~repro.core.substrate.SUBSTRATES` registry, which supplies the
+    model builder, default calibration, and the task evaluator — so the
+    returned metrics dict is metric-polymorphic: ``ppl``/``nll``/``nll_se``
+    for LMs, ``caption_score`` for VLMs, ``top1`` for CNNs, ``nll``/``top1``
+    for SSMs, plus ``mean_ebw`` on quantized runs. ``eval_kwargs`` forwards
+    substrate-specific evaluation knobs (e.g. the VLM shot count);
+    ``calibration`` selects the engine's sequential-vs-parallel calibration
+    ablation.
+
     ``rng`` is the only randomness source (the pipeline spawns it from the
-    job's content hash); it currently drives the bootstrap resampling of the
-    perplexity uncertainty, and any future stochastic step must draw from it
-    too so parallel and serial sweeps stay bit-identical.
-
-    Returns a JSON-serializable dict: ``ppl``, ``nll``, ``nll_se`` (bootstrap
-    standard error over evaluation sequences), and ``mean_ebw`` (quantized
-    runs). Deliberately no wall times here — metrics must be a deterministic
-    function of the job so executors can be compared bit-for-bit; timing
-    lives on the executor's :class:`~repro.pipeline.executor.JobOutcome`.
+    job's content hash); any stochastic step must draw from it so parallel
+    and serial sweeps stay bit-identical. Deliberately no wall times here —
+    metrics must be a deterministic function of the job so executors can be
+    compared bit-for-bit; timing lives on the executor's
+    :class:`~repro.pipeline.executor.JobOutcome`.
     """
-    from ..models.transformer import build_model
-    from ..quant.activation import quantize_kv_cache
-    from .corpus import eval_corpus
-    from .perplexity import nll_per_sequence
+    from ..core.substrate import get_substrate
 
+    sub = get_substrate(substrate)
     rng = rng if rng is not None else np.random.default_rng(0)
-    model = build_model(family)
-    corpus = eval_corpus(model, eval_sequences, eval_seq_len)
-    metrics: Dict[str, Any] = {"family": family, "method": method}
+    model = sub.build(family)
+    metrics: Dict[str, Any] = {"family": family, "substrate": substrate, "method": method}
 
     if method != _FP_METHOD:
         kwargs = _split_quant_kwargs(method, dict(quant_kwargs or {}), w_bits)
-        report = quantize_model(model, method, w_bits, act_bits=act_bits, **kwargs)
+        report = quantize_model(
+            model, method, w_bits, act_bits=act_bits, calibration=calibration, **kwargs
+        )
         metrics["w_bits"] = w_bits
         metrics["act_bits"] = act_bits
         metrics["mean_ebw"] = report.mean_ebw
 
     if kv_bits is not None:
+        if substrate != "lm":
+            raise ValueError(
+                f"kv_bits applies to the lm substrate only, not {substrate!r}"
+            )
+        from ..quant.activation import quantize_kv_cache
+
         model.kv_quant = lambda k, v: quantize_kv_cache(
             k, v, bits=kv_bits, residual=kv_residual
         )
 
-    seq_nll = nll_per_sequence(model, corpus)
-    metrics["nll"] = float(np.mean(seq_nll))
-    metrics["ppl"] = float(np.exp(metrics["nll"]))
-    resamples = rng.integers(0, len(seq_nll), size=(_BOOTSTRAP_RESAMPLES, len(seq_nll)))
-    metrics["nll_se"] = float(np.std(np.mean(seq_nll[resamples], axis=1)))
-
+    metrics.update(
+        sub.evaluate(model, eval_sequences, eval_seq_len, rng, **dict(eval_kwargs or {}))
+    )
     model.clear_overrides()
     return metrics

@@ -40,9 +40,17 @@ from .executor import (
 )
 from .progress import ProgressTracker
 from .runner import SweepResult, execute_job, run_sweep
-from .spec import FP_METHOD, ExperimentSpec, Job, SweepSpec, known_methods
+from .spec import (
+    CALIBRATION_MODES,
+    FP_METHOD,
+    ExperimentSpec,
+    Job,
+    SweepSpec,
+    known_methods,
+)
 
 __all__ = [
+    "CALIBRATION_MODES",
     "EXECUTORS",
     "ExperimentSpec",
     "FP_METHOD",

@@ -2,11 +2,14 @@
 
 Three subcommands:
 
-* ``sweep`` — enumerate a grid (families × methods × bits × group sizes),
-  run it through the cache + executor, print the pivot table, optionally
-  dump JSON records;
+* ``sweep`` — enumerate a grid (substrates × families × methods × bits ×
+  group sizes × calibration modes), run it through the cache + executor,
+  print the pivot table, optionally dump JSON records; ``--list-families``
+  / ``--list-methods`` / ``--list-substrates`` print the valid axis values
+  and exit;
 * ``show``  — summarize what the cache already holds;
-* ``clean`` — purge cached results (optionally only stale ones).
+* ``clean`` — purge cached results (optionally only entries older than
+  ``--older-than`` seconds / ``--max-age-hours`` hours).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from typing import List, Optional
 from .cache import ResultCache
 from .executor import EXECUTORS, default_workers
 from .runner import run_sweep
-from .spec import FP_METHOD, SweepSpec, known_methods
+from .spec import CALIBRATION_MODES, SweepSpec, known_methods
 
 __all__ = ["main", "build_parser"]
 
@@ -43,11 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sweep = sub.add_parser("sweep", help="run a (models × methods × settings) grid")
-    sweep.add_argument("--families", nargs="+", required=True, metavar="FAMILY")
+    sweep = sub.add_parser(
+        "sweep", help="run a (substrates × models × methods × settings) grid"
+    )
+    sweep.add_argument("--families", nargs="+", default=[], metavar="FAMILY",
+                       help="model families (see --list-families)")
+    sweep.add_argument("--methods", nargs="+", default=[], metavar="METHOD",
+                       help="quantization methods (see --list-methods)")
     sweep.add_argument(
-        "--methods", nargs="+", required=True, metavar="METHOD",
-        help=f"any of: {', '.join(known_methods())}",
+        "--substrates", nargs="+", default=["lm"], metavar="SUBSTRATE",
+        help="workload classes to sweep (see --list-substrates); families "
+             "are paired only with the substrates that can build them",
     )
     sweep.add_argument("--w-bits", nargs="+", type=int, default=[4])
     sweep.add_argument(
@@ -63,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[None, "mx-fp", "mx-int", "none"],
         help="MicroScopiQ outlier format axis",
     )
+    sweep.add_argument(
+        "--calibrations", nargs="+", default=["sequential"],
+        choices=list(CALIBRATION_MODES),
+        help="engine calibration modes (the sequential-vs-parallel ablation)",
+    )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--eval-sequences", type=int, default=32)
     sweep.add_argument("--eval-seq-len", type=int, default=32)
@@ -73,10 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--workers", type=int, default=None)
     sweep.add_argument("--recompute", action="store_true")
-    sweep.add_argument("--metric", default="ppl")
+    sweep.add_argument(
+        "--metric", default="auto",
+        help="metric column to pivot on; 'auto' uses each substrate's task "
+             "metric (ppl / caption_score / top1 / nll)",
+    )
     sweep.add_argument("--json", dest="json_out", metavar="PATH",
                        help="write per-job records as JSON")
     sweep.add_argument("--quiet", action="store_true")
+    sweep.add_argument("--list-families", action="store_true",
+                       help="print the known families per substrate and exit")
+    sweep.add_argument("--list-methods", action="store_true",
+                       help="print the known quantization methods and exit")
+    sweep.add_argument("--list-substrates", action="store_true",
+                       help="print the registered substrates and exit")
 
     show = sub.add_parser("show", help="summarize the result cache")
     show.add_argument("--cache-dir", default=DEFAULT_CACHE)
@@ -86,9 +110,41 @@ def build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--cache-dir", default=DEFAULT_CACHE)
     clean.add_argument(
         "--older-than", type=float, default=None, metavar="SECONDS",
-        help="only remove entries older than this",
+        help="only remove entries older than this many seconds",
+    )
+    clean.add_argument(
+        "--max-age-hours", type=float, default=None, metavar="HOURS",
+        help="only remove entries older than this many hours",
     )
     return parser
+
+
+def _substrate_metric(substrate: str) -> str:
+    from ..core.substrate import get_substrate
+
+    return get_substrate(substrate).metric
+
+
+def _print_listings(args: argparse.Namespace) -> bool:
+    """Handle the discovery flags; returns True if any listing was printed."""
+    from ..core.substrate import SUBSTRATES, substrate_families
+
+    listed = False
+    if args.list_substrates:
+        print("substrates:")
+        for name in sorted(SUBSTRATES):
+            spec = SUBSTRATES[name]
+            print(f"  {name:5s} metric={spec.metric:13s} {spec.paper_scope}")
+        listed = True
+    if args.list_families:
+        print("families:")
+        for name in sorted(SUBSTRATES):
+            print(f"  {name}: {', '.join(substrate_families(name))}")
+        listed = True
+    if args.list_methods:
+        print("methods:", ", ".join(known_methods()))
+        listed = True
+    return listed
 
 
 def _print_pivot(result, metric: str) -> None:
@@ -100,12 +156,12 @@ def _print_pivot(result, metric: str) -> None:
         if o.metrics is None:
             continue
         spec = o.job.spec
-        col = o.job.label[len(spec.family) + 1 :] if o.job.label.startswith(
-            f"{spec.family}/"
-        ) else o.job.label
+        prefix = f"{spec.family}/" if spec.substrate == "lm" else f"{spec.substrate}:{spec.family}/"
+        col = o.job.label[len(prefix):] if o.job.label.startswith(prefix) else o.job.label
         if col not in columns:
             columns.append(col)
-        pivot.setdefault(spec.family, {})[col] = o.metrics.get(metric)
+        m = _substrate_metric(spec.substrate) if metric == "auto" else metric
+        pivot.setdefault(spec.family, {})[col] = o.metrics.get(m)
     if not columns:
         print("no successful jobs")
         return
@@ -121,14 +177,25 @@ def _print_pivot(result, metric: str) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if _print_listings(args):
+        return 0
+    if not args.families or not args.methods:
+        print(
+            "error: --families and --methods are required (use --list-families"
+            " / --list-methods / --list-substrates to discover valid names)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = SweepSpec(
             families=tuple(args.families),
             methods=tuple(args.methods),
+            substrates=tuple(args.substrates),
             w_bits=tuple(args.w_bits),
             act_bits=tuple(args.act_bits),
             group_sizes=tuple(args.group_sizes),
             outlier_formats=tuple(f for f in args.outlier_formats),
+            calibrations=tuple(args.calibrations),
             eval_sequences=args.eval_sequences,
             eval_seq_len=args.eval_seq_len,
             seed=args.seed,
@@ -171,17 +238,29 @@ def _cmd_show(args: argparse.Namespace) -> int:
             print(f"... ({stats['entries'] - args.limit} more)")
             break
         metrics = record.get("metrics") or {}
-        ppl = metrics.get("ppl")
+        substrate = (record.get("job") or {}).get("substrate", "lm")
+        try:
+            metric = _substrate_metric(substrate)
+        except KeyError:
+            metric = "ppl"
+        value = metrics.get(metric)
         line = f"  {record.get('hash', '?')[:12]}  {record.get('label', '?'):40s}"
-        if ppl is not None:
-            line += f"  ppl={ppl:.3f}"
+        if value is not None:
+            line += f"  {metric}={value:.3f}"
         print(line)
     return 0
 
 
 def _cmd_clean(args: argparse.Namespace) -> int:
+    if args.older_than is not None and args.max_age_hours is not None:
+        print("error: pass --older-than or --max-age-hours, not both",
+              file=sys.stderr)
+        return 2
+    older_than = args.older_than
+    if args.max_age_hours is not None:
+        older_than = args.max_age_hours * 3600.0
     cache = ResultCache(args.cache_dir)
-    removed = cache.clean(older_than=args.older_than)
+    removed = cache.clean(older_than=older_than)
     print(f"removed {removed} cached results from {cache.root}")
     return 0
 

@@ -52,6 +52,9 @@ def execute_job(job: Job) -> Dict[str, Any]:
         eval_sequences=spec.eval_sequences,
         eval_seq_len=spec.eval_seq_len,
         rng=np.random.default_rng(job.spawn_seed),
+        substrate=spec.substrate,
+        calibration=spec.calibration,
+        eval_kwargs=dict(spec.eval_kwargs),
     )
 
 

@@ -1,12 +1,17 @@
 """Declarative experiment specs and their enumeration into hashable jobs.
 
-An :class:`ExperimentSpec` pins down ONE experiment completely: which model
-family, which quantization method (any :mod:`repro.baselines.registry` entry,
-``"fp16"`` for the full-precision reference), the bit setting, optional
-method-specific knobs, optional KV-cache quantization, and the evaluation
-corpus size. A :class:`SweepSpec` describes a *grid* — the cross-product of
-models × methods × weight/activation bits × outlier formats × group sizes —
-and enumerates it into a list of :class:`Job`\\ s.
+An :class:`ExperimentSpec` pins down ONE experiment completely: which
+substrate (LM / VLM / CNN / SSM, from the
+:data:`~repro.core.substrate.SUBSTRATES` registry) and model family, which
+quantization method (any :mod:`repro.baselines.registry` entry, ``"fp16"``
+for the full-precision reference), the bit setting, optional
+method-specific knobs, the engine's calibration mode, optional KV-cache
+quantization, and the evaluation corpus size. A :class:`SweepSpec` describes
+a *grid* — the cross-product of substrates × models × methods ×
+weight/activation bits × outlier formats × group sizes × calibration modes —
+and enumerates it into a list of :class:`Job`\\ s; (substrate, family) pairs
+the registry cannot build are skipped, so one sweep can span every workload
+class at once.
 
 A :class:`Job` is the atomic unit of work the executor dispatches and the
 cache keys on. Its identity is a stable SHA-256 over the canonical JSON of
@@ -25,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "CALIBRATION_MODES",
     "FP_METHOD",
     "ExperimentSpec",
     "Job",
@@ -33,6 +39,24 @@ __all__ = [
 ]
 
 FP_METHOD = "fp16"
+DEFAULT_SUBSTRATE = "lm"
+
+# Single source of truth for the engine's calibration-mode knob.
+from ..quant.engine import CALIBRATION_MODES  # noqa: E402
+
+
+def _uses_corpus_shape(substrate: str) -> bool:
+    """Whether eval_sequences/eval_seq_len shape this substrate's evaluation.
+
+    Unknown substrate names conservatively keep the fields in the identity
+    (they fail later, at build time, with the registry's error message).
+    """
+    try:
+        from ..core.substrate import get_substrate
+
+        return get_substrate(substrate).uses_corpus_shape
+    except KeyError:
+        return True
 
 # Methods whose group size is the MicroScopiQ macro-block (a config field);
 # everything else takes a plain ``group_size=`` keyword except GOBO, whose
@@ -61,60 +85,82 @@ def _canonical(obj: Any) -> Any:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One fully-specified experiment (model × method × setting).
+    """One fully-specified experiment (substrate × model × method × setting).
 
     Attributes:
-        family: model family name from :data:`repro.models.MODEL_FAMILIES`.
+        family: model family name known to the substrate's registry entry
+            (:func:`repro.core.substrate.substrate_families`).
+        substrate: workload class — ``"lm"`` (default), ``"vlm"``,
+            ``"cnn"``, or ``"ssm"``.
         method: quantizer registry name, or ``"fp16"`` for no quantization.
         w_bits: weight bit-width (ignored for ``fp16``).
         act_bits: activation bit-width, or ``None`` for weight-only.
         quant_kwargs: extra method keywords as a sorted item tuple — for
             MicroScopiQ these are :class:`~repro.quant.MicroScopiQConfig`
             fields, for other baselines plain quantizer keywords.
+        calibration: quantization engine calibration mode, ``"sequential"``
+            (GPTQ-style progressive, the default) or ``"parallel"`` (one FP
+            calibration pass — the paper's ablation arm).
         kv_bits / kv_residual: optional KIVI-style KV-cache quantization
-            applied at evaluation time.
-        eval_sequences / eval_seq_len: evaluation corpus shape.
+            applied at evaluation time (LM substrate only).
+        eval_sequences / eval_seq_len: evaluation corpus shape (LM corpora;
+            the other substrates use fixed per-family evaluation bundles).
+        eval_kwargs: substrate-specific evaluation knobs as a sorted item
+            tuple (e.g. ``(("shots", 8),)`` for the VLM shot count).
         label: free-form tag carried through to results (not hashed).
     """
 
     family: str
+    substrate: str = DEFAULT_SUBSTRATE
     method: str = FP_METHOD
     w_bits: int = 4
     act_bits: Optional[int] = None
     quant_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    calibration: str = "sequential"
     kv_bits: Optional[int] = None
     kv_residual: int = 128
     eval_sequences: int = 32
     eval_seq_len: int = 32
+    eval_kwargs: Tuple[Tuple[str, Any], ...] = ()
     label: str = ""
 
     def __post_init__(self) -> None:
-        if isinstance(self.quant_kwargs, dict):
-            object.__setattr__(
-                self, "quant_kwargs", tuple(sorted(self.quant_kwargs.items()))
+        for ax in ("quant_kwargs", "eval_kwargs"):
+            val = getattr(self, ax)
+            if isinstance(val, dict):
+                object.__setattr__(self, ax, tuple(sorted(val.items())))
+            _canonical(dict(getattr(self, ax)))  # validate hashability early
+        if self.calibration not in CALIBRATION_MODES:
+            raise KeyError(
+                f"unknown calibration mode {self.calibration!r}; known: "
+                f"{', '.join(CALIBRATION_MODES)}"
             )
-        _canonical(dict(self.quant_kwargs))  # validate hashability early
 
     def key(self) -> Dict[str, Any]:
         """Canonical identity dict — everything that defines the result.
 
-        Fields the kernel ignores for this method (bit widths and quantizer
-        kwargs under ``fp16``) are normalized away so equivalent experiments
-        share one content hash — that is what lets overlapping sweeps serve
-        the FP reference column from cache.
+        Fields the kernel ignores are normalized away so equivalent
+        experiments share one content hash — bit widths, quantizer kwargs,
+        and the calibration mode under ``fp16``; the LM corpus shape on
+        substrates whose evaluation bundles are fixed per family. That is
+        what lets overlapping sweeps serve shared cells from cache.
         """
         fp = self.method == FP_METHOD
+        corpus = _uses_corpus_shape(self.substrate)
         return _canonical(
             {
                 "family": self.family,
+                "substrate": self.substrate,
                 "method": self.method,
                 "w_bits": None if fp else self.w_bits,
                 "act_bits": None if fp else self.act_bits,
                 "quant_kwargs": {} if fp else dict(self.quant_kwargs),
+                "calibration": None if fp else self.calibration,
                 "kv_bits": self.kv_bits,
                 "kv_residual": self.kv_residual if self.kv_bits is not None else None,
-                "eval_sequences": self.eval_sequences,
-                "eval_seq_len": self.eval_seq_len,
+                "eval_sequences": self.eval_sequences if corpus else None,
+                "eval_seq_len": self.eval_seq_len if corpus else None,
+                "eval_kwargs": dict(self.eval_kwargs),
             }
         )
 
@@ -160,9 +206,10 @@ def describe(spec: ExperimentSpec) -> str:
     """Short human-readable job name, e.g. ``llama3-8b/microscopiq W2A8``.
 
     Includes every identity field beyond the family/method/bits triple
-    (quant kwargs as ``g64``/``k=v``, KV setting, non-default eval shape):
-    two distinct settings in one sweep must never share a label, since the
-    CLI pivot and ``SweepResult.by_label`` key on it.
+    (substrate prefix when not the LM, quant kwargs as ``g64``/``k=v``, the
+    calibration ablation arm, KV setting, eval knobs, non-default eval
+    shape): two distinct settings in one sweep must never share a label,
+    since the CLI pivot and ``SweepResult.by_label`` key on it.
     """
     if spec.method == FP_METHOD:
         setting = "W16A16"
@@ -176,10 +223,17 @@ def describe(spec: ExperimentSpec) -> str:
                 parts.append(f"g{v}")
             else:
                 parts.append(f"{k}={v}")
-    if (spec.eval_sequences, spec.eval_seq_len) != (32, 32):
+        if spec.calibration != "sequential":
+            parts.append(f"calib={spec.calibration}")
+    for k, v in spec.eval_kwargs:
+        parts.append(f"{k}={v}")
+    if (spec.eval_sequences, spec.eval_seq_len) != (32, 32) and _uses_corpus_shape(
+        spec.substrate
+    ):
         parts.append(f"ev{spec.eval_sequences}x{spec.eval_seq_len}")
     kwargs = f" [{','.join(parts)}]" if parts else ""
-    return f"{spec.family}/{spec.method} {setting}{extra}{kwargs}"
+    prefix = "" if spec.substrate == DEFAULT_SUBSTRATE else f"{spec.substrate}:"
+    return f"{prefix}{spec.family}/{spec.method} {setting}{extra}{kwargs}"
 
 
 def _config_field_names() -> set:
@@ -205,18 +259,25 @@ def _group_kwargs(method: str, group_size: Optional[int]) -> Dict[str, Any]:
 class SweepSpec:
     """A grid of experiments: the cross-product of the axes below.
 
-    ``group_sizes`` maps onto each method's natural group knob (MicroScopiQ
-    macro-block vs. baseline ``group_size``); ``outlier_formats`` applies to
-    MicroScopiQ-family methods only. ``None`` in either axis means "method
-    default" and attaches nothing.
+    ``substrates`` crosses the grid over workload classes; each family is
+    paired only with the substrates that can build it, so a mixed sweep like
+    ``substrates=("lm", "cnn"), families=("opt-6.7b", "resnet50")`` runs
+    exactly the two valid combinations. ``group_sizes`` maps onto each
+    method's natural group knob (MicroScopiQ macro-block vs. baseline
+    ``group_size``); ``outlier_formats`` applies to MicroScopiQ-family
+    methods only. ``None`` in either axis means "method default" and
+    attaches nothing. ``calibrations`` sweeps the engine's
+    sequential-vs-parallel calibration ablation.
     """
 
     families: Tuple[str, ...]
     methods: Tuple[str, ...]
+    substrates: Tuple[str, ...] = (DEFAULT_SUBSTRATE,)
     w_bits: Tuple[int, ...] = (4,)
     act_bits: Tuple[Optional[int], ...] = (None,)
     group_sizes: Tuple[Optional[int], ...] = (None,)
     outlier_formats: Tuple[Optional[str], ...] = (None,)
+    calibrations: Tuple[str, ...] = ("sequential",)
     quant_kwargs: Tuple[Tuple[str, Any], ...] = ()
     kv_bits: Optional[int] = None
     kv_residual: int = 128
@@ -226,8 +287,9 @@ class SweepSpec:
     extra_specs: Tuple[ExperimentSpec, ...] = ()
 
     def __post_init__(self) -> None:
-        for ax in ("families", "methods", "w_bits", "act_bits", "group_sizes",
-                   "outlier_formats", "extra_specs"):
+        for ax in ("families", "methods", "substrates", "w_bits", "act_bits",
+                   "group_sizes", "outlier_formats", "calibrations",
+                   "extra_specs"):
             val = getattr(self, ax)
             if not isinstance(val, tuple):
                 object.__setattr__(self, ax, tuple(val))
@@ -235,29 +297,52 @@ class SweepSpec:
             object.__setattr__(
                 self, "quant_kwargs", tuple(sorted(self.quant_kwargs.items()))
             )
-        from ..models import MODEL_FAMILIES
+        from ..core.substrate import get_substrate, substrate_families
 
+        fam_universe: set = set()
+        for sub in self.substrates:
+            get_substrate(sub)  # raises with the known list on miss
+            fam_universe.update(substrate_families(sub))
         for fam in self.families:
-            if fam not in MODEL_FAMILIES:
-                known = ", ".join(MODEL_FAMILIES)
-                raise KeyError(f"unknown family {fam!r}; known: {known}")
+            if fam not in fam_universe:
+                known = ", ".join(sorted(fam_universe))
+                raise KeyError(
+                    f"unknown family {fam!r} for substrates "
+                    f"{'/'.join(self.substrates)}; known: {known}"
+                )
         valid = set(known_methods())
         for m in self.methods:
             if m not in valid:
                 raise KeyError(
                     f"unknown method {m!r}; known: {', '.join(sorted(valid))}"
                 )
+        for c in self.calibrations:
+            if c not in CALIBRATION_MODES:
+                raise KeyError(
+                    f"unknown calibration mode {c!r}; known: "
+                    f"{', '.join(CALIBRATION_MODES)}"
+                )
 
     def specs(self) -> List[ExperimentSpec]:
-        """Enumerate the grid (plus ``extra_specs``), de-duplicated."""
+        """Enumerate the grid (plus ``extra_specs``), de-duplicated.
+
+        (substrate, family) pairs the registry cannot build are skipped, so
+        mixed-substrate sweeps enumerate exactly the valid combinations.
+        """
+        from ..core.substrate import substrate_families
+
+        sub_families = {s: set(substrate_families(s)) for s in self.substrates}
         out: List[ExperimentSpec] = []
         seen = set()
         grid = itertools.product(
-            self.families, self.methods, self.w_bits, self.act_bits,
-            self.group_sizes, self.outlier_formats,
+            self.substrates, self.families, self.methods, self.w_bits,
+            self.act_bits, self.group_sizes, self.outlier_formats,
+            self.calibrations,
         )
         config_fields = _config_field_names() if self.quant_kwargs else set()
-        for fam, method, wb, ab, gs, ofmt in grid:
+        for sub, fam, method, wb, ab, gs, ofmt, cal in grid:
+            if fam not in sub_families[sub]:
+                continue
             kw = dict(self.quant_kwargs)
             if method == FP_METHOD:
                 kw = {}  # the FP reference ignores quantizer knobs entirely
@@ -271,10 +356,12 @@ class SweepSpec:
                 kw["outlier_format"] = ofmt
             spec = ExperimentSpec(
                 family=fam,
+                substrate=sub,
                 method=method,
                 w_bits=wb,
                 act_bits=None if method == FP_METHOD else ab,
                 quant_kwargs=tuple(sorted(kw.items())),
+                calibration=cal,
                 kv_bits=self.kv_bits,
                 kv_residual=self.kv_residual,
                 eval_sequences=self.eval_sequences,

@@ -1,4 +1,4 @@
-"""MicroScopiQ quantization: Hessian engine, outlier handling, packing."""
+"""MicroScopiQ quantization: Hessian engine, staged kernel, model engine."""
 
 from .activation import (
     ActivationQuantizer,
@@ -8,21 +8,33 @@ from .activation import (
     quantize_kv_cache,
 )
 from .config import MicroScopiQConfig
+from .engine import (
+    HessianStore,
+    QuantizationReport,
+    default_hessian_store,
+    quantize_model,
+)
 from .hessian import (
     cholesky_inverse_factor,
     inverse_hessian,
     layer_hessian,
     pruning_saliency,
 )
+from .kernel import BlockQuantKernel
 from .microscopiq import quantize_matrix, quantize_microscopiq
 from .outliers import OutlierStats, outlier_mask, outlier_stats
 from .packed import PackedLayer
 
 __all__ = [
     "ActivationQuantizer",
+    "BlockQuantKernel",
+    "HessianStore",
     "MicroScopiQConfig",
     "OutlierStats",
     "PackedLayer",
+    "QuantizationReport",
+    "default_hessian_store",
+    "quantize_model",
     "apply_migration",
     "cholesky_inverse_factor",
     "inverse_hessian",

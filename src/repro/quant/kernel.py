@@ -1,0 +1,85 @@
+"""Shared block-loop scaffolding for the GPTQ-family weight quantizers.
+
+MicroScopiQ and the block-structured baselines (GPTQ, OliVe, SDQ) all walk
+the input (dot-product) dimension in fixed-width column blocks and run the
+same outer stages: **separate** outliers with the 3σ rule, fit a scale,
+quantize, and — for the Hessian-aware methods — **compensate** by pushing
+each block's quantization error onto not-yet-quantized columns through the
+inverse-Hessian Cholesky factor (the OBS update). :class:`BlockQuantKernel`
+owns that scaffolding once; each method supplies only its per-stage math
+(scale fitting, pruning, outlier encoding), so the block-loop plumbing is
+not re-implemented per baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .outliers import outlier_mask
+
+__all__ = ["BlockQuantKernel"]
+
+
+class BlockQuantKernel:
+    """Column-block walk + outlier separation + OBS error compensation.
+
+    The kernel is stateless apart from its configuration; the same instance
+    can drive any number of matrices. Stages it provides:
+
+    * :meth:`blocks` — the ``[lo, hi)`` column ranges of the block walk;
+    * :meth:`separate` — the 3σ outlier mask of one block (stage 1 of
+      Algorithm 1, and the shared detection rule of OliVe/SDQ);
+    * :meth:`propagate_block_error` — the GPTQ/OBS compensation sweep for
+      one quantized block (stage 5), with the sequential within-block
+      conditioning GPTQ's Cholesky factorization requires.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        sigma_threshold: float = 3.0,
+        detect_outliers: bool = True,
+    ):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = int(block_size)
+        self.sigma_threshold = float(sigma_threshold)
+        self.detect_outliers = bool(detect_outliers)
+
+    def blocks(self, d_in: int) -> Iterator[Tuple[int, int]]:
+        """Yield the ``[lo, hi)`` column ranges of the block walk."""
+        for lo in range(0, d_in, self.block_size):
+            yield lo, min(lo + self.block_size, d_in)
+
+    def separate(self, block: np.ndarray) -> np.ndarray:
+        """Stage *separate*: the per-row 3σ outlier mask of one block."""
+        if not self.detect_outliers:
+            return np.zeros(block.shape, dtype=bool)
+        return outlier_mask(block, self.sigma_threshold, axis=-1)
+
+    @staticmethod
+    def propagate_block_error(
+        w: np.ndarray, q: np.ndarray, u_factor: np.ndarray, lo: int, hi: int
+    ) -> None:
+        """Stage *compensate*: OBS error propagation for columns ``[lo, hi)``.
+
+        ``w[:, lo:hi]`` must still hold the pre-quantization (compensated)
+        weights and ``q[:, lo:hi]`` their quantized values. Q for the block
+        may have been chosen jointly from that snapshot, but the error terms
+        must follow the sequential Cholesky conditioning: column ``p``'s
+        error is measured against the weights *after* columns ``< p`` inside
+        the block have pushed their updates (a local working copy), while
+        updates beyond the block land directly on ``w``. With ``hi == lo+1``
+        this degenerates to GPTQ's plain per-column update.
+        """
+        d_in = w.shape[1]
+        w_work = w[:, lo:hi].copy()
+        for p in range(lo, hi):
+            j = p - lo
+            err = (w_work[:, j] - q[:, p]) / u_factor[p, p]
+            if j + 1 < w_work.shape[1]:
+                w_work[:, j + 1 :] -= np.outer(err, u_factor[p, p + 1 : hi])
+            if hi < d_in:
+                w[:, hi:] -= np.outer(err, u_factor[p, hi:])

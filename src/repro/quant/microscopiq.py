@@ -1,19 +1,25 @@
-"""The MicroScopiQ quantizer (paper §4, Algorithm 1).
+"""The MicroScopiQ quantizer (paper §4, Algorithm 1), as named stages.
 
 For every macro-block (MaB, 128 columns) of every row:
 
-1. **Separate** inliers and outliers with the 3σ rule; compute one shared
-   power-of-two inlier scale ``2**Isf`` (MX-INT-b_BM).
-2. Per micro-block (μB, 8 columns): cap outliers at ``B_μ/2``; **prune** the
-   ``n`` least-important inliers (OBS saliency ``w²/[H⁻¹]_pp``) to free slots
-   for the outliers' extra bits; **quantize** the outliers jointly to MX-FP
-   with a shared microexponent, optionally pre-scaled by ``2**Isf``.
-3. **Compensate** the quantization error onto not-yet-quantized columns via
-   the GPTQ/OBS update.
+1. **Separate** inliers and outliers with the 3σ rule
+   (:meth:`~repro.quant.kernel.BlockQuantKernel.separate`).
+2. **Scale-fit**: one shared power-of-two inlier scale ``2**Isf`` per row
+   (MX-INT-b_BM), snapped to the E8M0 grid (:func:`_fit_inlier_scale`).
+3. Per micro-block (μB, 8 columns): cap outliers at ``B_μ/2``; **prune**
+   the ``n`` least-important inliers (OBS saliency ``w²/[H⁻¹]_pp``) to free
+   slots for the outliers' extra bits; **outlier-quantize** the outliers
+   jointly to MX-FP with a shared microexponent, optionally pre-scaled by
+   ``2**Isf`` (:func:`_prune_and_quantize_outliers`).
+4. **Compensate** the quantization error onto not-yet-quantized columns via
+   the GPTQ/OBS update
+   (:meth:`~repro.quant.kernel.BlockQuantKernel.propagate_block_error`).
 
 Columns are processed strictly left-to-right along the input (dot-product)
 dimension, so the inverse-Hessian Cholesky factor drives compensation exactly
-as in GPTQ.
+as in GPTQ. The block-loop scaffolding (block walk, outlier separation, OBS
+propagation) lives on the shared :class:`BlockQuantKernel` that the GPTQ-family
+baselines reuse.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from ..formats.mx import outlier_format_for_bits, quantize_mx_fp_group
 from ..formats.scalar import int_max, pow2_scale_exponent
 from .config import MicroScopiQConfig
 from .hessian import cholesky_inverse_factor, inverse_hessian, layer_hessian
-from .outliers import outlier_mask
+from .kernel import BlockQuantKernel
 from .packed import PackedLayer
 
 __all__ = ["quantize_matrix", "quantize_microscopiq"]
@@ -46,7 +52,7 @@ def _level1_field_range(fmt: FPFormat) -> tuple[int, int]:
 def _quantize_outlier_group(
     values: np.ndarray, config: MicroScopiQConfig, isf: int
 ) -> tuple[np.ndarray, int, int]:
-    """Quantize one μB's outliers; returns (dequant, level1_exp, μX).
+    """Stage *outlier-quantize*: one μB's outliers → (dequant, level1, μX).
 
     With ``prescale_outliers`` the group is multiplied by ``2**Isf`` first
     (Isf is negative for all FMs we generate, shrinking the dynamic range the
@@ -110,6 +116,111 @@ def _select_prune_positions(
     return chosen
 
 
+def _fit_inlier_scale(
+    block: np.ndarray, omask: np.ndarray, imax: int, col_w: np.ndarray
+) -> np.ndarray:
+    """Stage *scale-fit*: per-row power-of-two inlier scale exponent (Step 1.2).
+
+    The shared scale comes from inlier magnitudes only; Eq. 1's float scale
+    is snapped to the E8M0 grid by trying the covering exponent and two
+    tighter (clipping) candidates, keeping the per-row error minimizer.
+    ``col_w`` weights the squared error by column importance — ones for
+    plain MicroScopiQ, ``diag(H) ~ E[x²]`` for the LWC (Omni-MicroScopiQ)
+    objective.
+    """
+    inlier_mag = np.where(omask, 0.0, np.abs(block))
+    no_inliers = ~np.any(~omask, axis=1)
+    amax = np.max(inlier_mag, axis=1)
+    amax = np.where(no_inliers, np.max(np.abs(block), axis=1), amax)
+    safe = np.where(amax == 0.0, 1.0, amax)
+    isf = np.where(
+        amax == 0.0, 0, np.ceil(np.log2(safe / imax))
+    ).astype(np.int32)
+    isf = np.clip(isf, -127, 127)
+    inl = np.where(omask, 0.0, block)
+    best_mse = None
+    best_isf = isf.copy()
+    for delta in (0, 1, 2):
+        cand = isf - delta
+        sc = 2.0 ** cand.astype(np.float64)
+        qq = np.clip(np.rint(inl / sc[:, None]), -imax, imax) * sc[:, None]
+        mse = np.sum((qq - inl) ** 2 * col_w, axis=1)
+        if best_mse is None:
+            best_mse = mse
+        else:
+            better = mse < best_mse
+            best_mse = np.where(better, mse, best_mse)
+            best_isf = np.where(better, cand, best_isf)
+    return best_isf.astype(np.int32)
+
+
+def _prune_and_quantize_outliers(
+    wb: np.ndarray,
+    ub_omask: np.ndarray,
+    qb: np.ndarray,
+    config: MicroScopiQConfig,
+    isf: np.ndarray,
+    hinv_diag_ub: np.ndarray,
+    have_h: bool,
+) -> dict[int, tuple[np.ndarray, list[int], int, int]]:
+    """Stages *prune* + *outlier-quantize* for one μB.
+
+    Mutates ``qb`` in place (outlier slots get their MX-FP reconstruction,
+    pruned slots go to zero) and returns, per affected row, the μB-local
+    ``(outlier_positions, prune_positions, level1_exp, mu_x)`` metadata the
+    packer records. Saliency for the whole μB is computed at once; the
+    per-row prune choice for the sort-based strategies is one masked stable
+    argsort (outliers pushed to the end with +inf) instead of a
+    setdiff1d + fancy-index + argsort per row — the sweep profile's hottest
+    Python loop.
+    """
+    info: dict[int, tuple[np.ndarray, list[int], int, int]] = {}
+    rows = np.nonzero(ub_omask.any(axis=1))[0]
+    if not len(rows):
+        return info
+    cap = config.max_outliers_per_ub
+    width = wb.shape[1]
+    if config.prune_strategy == "hessian" and have_h:
+        sal_ub = wb**2 / hinv_diag_ub[None, :]
+    else:
+        sal_ub = np.abs(wb)
+    if config.prune_strategy in ("hessian", "magnitude"):
+        order_ub = np.argsort(
+            np.where(ub_omask, np.inf, sal_ub), axis=1, kind="stable"
+        )
+    else:
+        order_ub = None
+    for r in rows:
+        local_out = np.nonzero(ub_omask[r])[0]
+        demoted = len(local_out) > cap
+        if demoted:
+            # Demote the smallest-magnitude outliers to inliers
+            # (the "outlier pruning" regime of Fig. 14 at tiny B_μ).
+            mags = np.abs(wb[r, local_out])
+            keep = local_out[np.argsort(-mags, kind="stable")[:cap]]
+            local_out = np.sort(keep)
+        n = len(local_out)
+        if order_ub is not None and not demoted:
+            # First n entries = the n least-salient inliers, in the
+            # same stable order _select_prune_positions produces.
+            k = min(n, width - n)
+            prune_pos = [int(p) for p in order_ub[r, :k]]
+        else:
+            all_pos = np.arange(width)
+            inlier_pos = np.setdiff1d(all_pos, local_out)
+            prune_pos = _select_prune_positions(
+                config.prune_strategy, n, inlier_pos, local_out, sal_ub[r]
+            )
+
+        deq, l1, mu_x = _quantize_outlier_group(
+            wb[r, local_out], config, int(isf[r])
+        )
+        qb[r, local_out] = deq
+        qb[r, prune_pos] = 0.0
+        info[int(r)] = (local_out, prune_pos, l1, mu_x)
+    return info
+
+
 def quantize_matrix(
     weights: np.ndarray,
     calib_inputs: np.ndarray | None = None,
@@ -118,9 +229,10 @@ def quantize_matrix(
 ) -> PackedLayer:
     """Quantize a ``[d_out, d_in]`` weight matrix with MicroScopiQ.
 
-    ``calib_inputs [n, d_in]`` (or a precomputed ``hessian``) enables the
-    Hessian saliency and GPTQ error compensation; without either, saliency
-    falls back to weight magnitude and no compensation is applied.
+    ``calib_inputs [n, d_in]`` (or a precomputed ``hessian`` — e.g. from the
+    :class:`~repro.quant.engine.HessianStore`) enables the Hessian saliency
+    and GPTQ error compensation; without either, saliency falls back to
+    weight magnitude and no compensation is applied.
     """
     config = config or MicroScopiQConfig()
     w = np.array(weights, dtype=np.float64)
@@ -128,8 +240,7 @@ def quantize_matrix(
         raise ValueError(f"expected 2-D weights, got shape {w.shape}")
     d_out, d_in = w.shape
     bm, bu = config.macro_block, config.micro_block
-    bb = config.inlier_bits
-    imax = int_max(bb)
+    imax = int_max(config.inlier_bits)
 
     if hessian is None and calib_inputs is not None:
         hessian = layer_hessian(calib_inputs, config.damp_ratio)
@@ -151,53 +262,20 @@ def quantize_matrix(
     ub_scale = np.full((d_out, n_ubs, 2), -128, dtype=np.int16)
     perm_lists: dict = {}
 
-    detect_outliers = config.outlier_format != "none"
-    cap = config.max_outliers_per_ub
+    kernel = BlockQuantKernel(
+        bm, config.sigma_threshold, detect_outliers=config.outlier_format != "none"
+    )
 
-    for mab in range(n_mabs):
-        m_lo = mab * bm
-        m_hi = min(m_lo + bm, d_in)
+    for m_lo, m_hi in kernel.blocks(d_in):
         block = w[:, m_lo:m_hi]
-        if detect_outliers:
-            omask = outlier_mask(block, config.sigma_threshold, axis=-1)
-        else:
-            omask = np.zeros(block.shape, dtype=bool)
+        omask = kernel.separate(block)
 
-        # Shared inlier scale from inlier magnitudes only (Step 1.2).
-        inlier_mag = np.where(omask, 0.0, np.abs(block))
-        no_inliers = ~np.any(~omask, axis=1)
-        amax = np.max(inlier_mag, axis=1)
-        amax = np.where(no_inliers, np.max(np.abs(block), axis=1), amax)
-        safe = np.where(amax == 0.0, 1.0, amax)
-        isf = np.where(
-            amax == 0.0, 0, np.ceil(np.log2(safe / imax))
-        ).astype(np.int32)
-        isf = np.clip(isf, -127, 127)
-        # Fit the power-of-two exponent: Eq. 1's float scale is snapped to
-        # the E8M0 grid by trying the covering exponent and two tighter
-        # (clipping) candidates, keeping the per-row error minimizer. With
-        # config.lwc (Omni-MicroScopiQ) the error is weighted by column
-        # importance diag(H) ~ E[x^2], OmniQuant's LWC objective.
-        inl = np.where(omask, 0.0, block)
         if config.lwc and have_h:
             col_w = np.diag(hessian)[m_lo:m_hi][None, :]
         else:
             col_w = np.ones((1, m_hi - m_lo))
-        best_mse = None
-        best_isf = isf.copy()
-        for delta in (0, 1, 2):
-            cand = isf - delta
-            sc = 2.0 ** cand.astype(np.float64)
-            qq = np.clip(np.rint(inl / sc[:, None]), -imax, imax) * sc[:, None]
-            mse = np.sum((qq - inl) ** 2 * col_w, axis=1)
-            if best_mse is None:
-                best_mse = mse
-            else:
-                better = mse < best_mse
-                best_mse = np.where(better, mse, best_mse)
-                best_isf = np.where(better, cand, best_isf)
-        isf = best_isf.astype(np.int32)
-        isf_out[:, mab] = isf
+        isf = _fit_inlier_scale(block, omask, imax, col_w)
+        isf_out[:, m_lo // bm] = isf
         scale = 2.0 ** isf.astype(np.float64)
 
         for u_lo in range(m_lo, m_hi, bu):
@@ -210,76 +288,23 @@ def quantize_matrix(
             codes = np.clip(np.rint(wb / scale[:, None]), -imax, imax)
             qb = codes * scale[:, None]
 
-            rows = np.nonzero(ub_omask.any(axis=1))[0]
-            if len(rows):
-                # Saliency for the whole μB at once; the per-row prune choice
-                # for the sort-based strategies is one masked stable argsort
-                # (outliers pushed to the end with +inf) instead of a
-                # setdiff1d + fancy-index + argsort per row — the sweep
-                # profile's hottest Python loop.
-                if config.prune_strategy == "hessian" and have_h:
-                    sal_ub = wb**2 / hinv_diag[u_lo:u_hi][None, :]
-                else:
-                    sal_ub = np.abs(wb)
-                if config.prune_strategy in ("hessian", "magnitude"):
-                    order_ub = np.argsort(
-                        np.where(ub_omask, np.inf, sal_ub), axis=1, kind="stable"
-                    )
-                else:
-                    order_ub = None
-            for r in rows:
-                local_out = np.nonzero(ub_omask[r])[0]
-                demoted = len(local_out) > cap
-                if demoted:
-                    # Demote the smallest-magnitude outliers to inliers
-                    # (the "outlier pruning" regime of Fig. 14 at tiny B_μ).
-                    mags = np.abs(wb[r, local_out])
-                    keep = local_out[np.argsort(-mags, kind="stable")[:cap]]
-                    local_out = np.sort(keep)
-                n = len(local_out)
-                if order_ub is not None and not demoted:
-                    # First n entries = the n least-salient inliers, in the
-                    # same stable order _select_prune_positions produces.
-                    k = min(n, (u_hi - u_lo) - n)
-                    prune_pos = [int(p) for p in order_ub[r, :k]]
-                else:
-                    all_pos = np.arange(u_hi - u_lo)
-                    inlier_pos = np.setdiff1d(all_pos, local_out)
-                    prune_pos = _select_prune_positions(
-                        config.prune_strategy, n, inlier_pos, local_out, sal_ub[r]
-                    )
-
-                deq, l1, mu_x = _quantize_outlier_group(
-                    wb[r, local_out], config, int(isf[r])
-                )
-                qb[r, local_out] = deq
-                qb[r, prune_pos] = 0.0
+            row_info = _prune_and_quantize_outliers(
+                wb, ub_omask, qb, config, isf, hinv_diag[u_lo:u_hi], have_h
+            )
+            for r, (local_out, prune_pos, l1, mu_x) in row_info.items():
                 out_mask[r, u_lo + local_out] = True
                 pruned[r, u_lo + np.asarray(prune_pos, dtype=int)] = True
-                ub_count[r, ub_idx] = n
+                ub_count[r, ub_idx] = len(local_out)
                 ub_scale[r, ub_idx, 0] = np.clip(l1, -32768, 32767)
                 ub_scale[r, ub_idx, 1] = mu_x
-                perm_lists[(int(r), int(ub_idx))] = [
+                perm_lists[(r, int(ub_idx))] = [
                     (int(o), int(p)) for o, p in zip(local_out, prune_pos)
                 ]
 
             q[:, cols] = qb
 
             if u_factor is not None:
-                # GPTQ error propagation. Q for the whole μB was chosen
-                # jointly from the snapshot, but the error terms must follow
-                # the sequential Cholesky conditioning: column p's error is
-                # measured against the weights *after* columns < p inside the
-                # μB have pushed their updates (w_work), and updates beyond
-                # the μB are applied directly to the working matrix.
-                w_work = wb.copy()
-                for p in range(u_lo, u_hi):
-                    j = p - u_lo
-                    err = (w_work[:, j] - q[:, p]) / u_factor[p, p]
-                    if j + 1 < w_work.shape[1]:
-                        w_work[:, j + 1 :] -= np.outer(err, u_factor[p, p + 1 : u_hi])
-                    if u_hi < d_in:
-                        w[:, u_hi:] -= np.outer(err, u_factor[p, u_hi:])
+                kernel.propagate_block_error(w, q, u_factor, u_lo, u_hi)
 
     return PackedLayer(
         dequant=q,

@@ -118,11 +118,34 @@ class TestHarness:
         # second call cleared the first; result reflects microscopiq-W4
         assert ppl < perplexity_with(lm, "rtn", 2, corpus)
 
-    def test_non_lm_requires_calib(self):
+    def test_registered_substrates_get_default_calibration(self):
+        """Every registry substrate quantizes without an explicit calib."""
         from repro.models import build_cnn
 
+        cnn = build_cnn("resnet50")
+        report = quantize_model(cnn, "rtn", 4)
+        assert set(report.layer_ebw) == set(cnn.linear_names)
+        cnn.clear_overrides()
+
+    def test_unregistered_model_requires_calib(self):
+        """Duck-typed models outside the registry must pass their own."""
+
+        class Anon:
+            linear_names = ["w"]
+            weights = {"w": np.zeros((4, 8))}
+            act_quant: dict = {}
+
+            def collect_calibration(self, calib):
+                return {"w": calib}
+
+            def set_override(self, name, weight):
+                pass
+
+            def clear_overrides(self):
+                pass
+
         with pytest.raises(ValueError):
-            quantize_model(build_cnn("resnet50"), "rtn", 4)
+            quantize_model(Anon(), "rtn", 4)
 
 
 def perplexity_with(lm, method, bits, corpus):

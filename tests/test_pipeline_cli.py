@@ -48,6 +48,89 @@ def test_cli_sweep_show_clean_cycle(tmp_path, capsys):
     assert "0 results" in capsys.readouterr().out
 
 
+def test_cli_non_lm_substrate_sweep(tmp_path, capsys):
+    """A CNN sweep runs end to end with its own metric in the pivot."""
+    cache = str(tmp_path / "cache")
+    argv = [
+        "sweep",
+        "--substrates", "cnn",
+        "--families", "resnet50",
+        "--methods", "fp16", "rtn",
+        "--w-bits", "4",
+        "--cache-dir", cache,
+        "--executor", "serial",
+        "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2/2 jobs" in out and "resnet50" in out
+    assert "100.000" in out  # fp16 top1 agrees with itself by construction
+
+    assert main(["show", "--cache-dir", cache]) == 0
+    assert "top1=" in capsys.readouterr().out
+
+
+def test_cli_mixed_substrates_pair_only_valid_families(tmp_path, capsys):
+    """lm+ssm sweep over one family of each enumerates 2 jobs, not 4."""
+    argv = [
+        "sweep",
+        "--substrates", "lm", "ssm",
+        "--families", "opt-6.7b", "vmamba-s",
+        "--methods", "rtn",
+        "--w-bits", "4",
+        "--eval-sequences", "8", "--eval-seq-len", "24",
+        "--no-cache",
+        "--executor", "serial",
+        "--quiet",
+    ]
+    assert main(argv) == 0
+    assert "2/2 jobs" in capsys.readouterr().out
+
+
+def test_cli_discovery_flags(capsys):
+    assert main(["sweep", "--list-substrates"]) == 0
+    out = capsys.readouterr().out
+    assert "cnn" in out and "caption_score" in out
+
+    assert main(["sweep", "--list-families"]) == 0
+    out = capsys.readouterr().out
+    assert "resnet50" in out and "opt-6.7b" in out and "vila-7b" in out
+
+    assert main(["sweep", "--list-methods"]) == 0
+    assert "microscopiq" in capsys.readouterr().out
+
+
+def test_cli_sweep_without_axes_points_at_discovery(capsys):
+    assert main(["sweep", "--families", "opt-6.7b"]) == 2
+    assert "--list-methods" in capsys.readouterr().err
+
+
+def test_cli_clean_max_age_hours(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = [
+        "sweep",
+        "--families", "opt-6.7b",
+        "--methods", "fp16",
+        "--eval-sequences", "8", "--eval-seq-len", "24",
+        "--cache-dir", cache,
+        "--executor", "serial",
+        "--quiet",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+
+    # Fresh entries survive an age-based prune...
+    assert main(["clean", "--cache-dir", cache, "--max-age-hours", "1"]) == 0
+    assert "removed 0" in capsys.readouterr().out
+    # ...both flags together are refused...
+    assert main(["clean", "--cache-dir", cache, "--max-age-hours", "1",
+                 "--older-than", "60"]) == 2
+    assert "not both" in capsys.readouterr().err
+    # ...and a zero-hour horizon wipes everything.
+    assert main(["clean", "--cache-dir", cache, "--max-age-hours", "0"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+
+
 def test_cli_rejects_unknown_method_and_family(tmp_path, capsys):
     rc = main(["sweep", "--families", "opt-6.7b", "--methods", "warp-drive",
                "--cache-dir", str(tmp_path)])
