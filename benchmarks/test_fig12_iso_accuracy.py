@@ -2,15 +2,29 @@
 
 Paper shape: MicroScopiQ v1 (W4A4) and v2 (WxA4) beat every baseline
 accelerator on latency (avg 1.50x / 2.47x) and v2 has the lowest energy
-(~1.5x below baselines); GOBO is the slowest / most energy-hungry."""
+(~1.5x below baselines); GOBO is the slowest / most energy-hungry.
+
+The *iso-accuracy* premise itself — that the baseline architectures must run
+at richer precision mixes (OliVe 50% 8-bit, ANT 25% 8-bit, GOBO's 15.6-bit
+EBW) to match MicroScopiQ's W4 quality, which is exactly what their
+``ArchSpec`` configurations encode — is verified by an
+:class:`~repro.pipeline.ExperimentSpec` accuracy sweep through the session's
+content-addressed cache (the same cells Table 2 shares), not by direct
+``quantize_model`` calls."""
 
 import numpy as np
 import pytest
 
 from repro.accelerator import ARCHS, GEOMETRIES, simulate_arch_inference
+from repro.pipeline import ExperimentSpec
 from benchmarks.conftest import print_table
 
 MODELS = ["opt-6.7b", "llama2-7b", "llama3-8b", "vila-7b"]
+
+# The W4 operating points behind the iso-accuracy framing (LM families —
+# VILA's caption metric lives in Fig. 10's sweep).
+ISO_FAMILIES = ["opt-6.7b", "llama2-7b", "llama3-8b"]
+ISO_METHODS = ["microscopiq", "olive", "gobo"]
 
 
 def compute():
@@ -67,6 +81,51 @@ def test_fig12_iso_accuracy(benchmark):
         lats = {a: res[(model, a)].cycles for a in ARCHS}
         assert min(lats, key=lats.get) == "microscopiq-v2"
         assert max(lats, key=lats.get) == "gobo"
+
+
+def _iso_specs():
+    specs = {}
+    for family in ISO_FAMILIES:
+        specs[(family, "fp16")] = ExperimentSpec(family=family)
+        for method in ISO_METHODS:
+            specs[(family, method)] = ExperimentSpec(
+                family=family, method=method, w_bits=4
+            )
+    return specs
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_iso_accuracy_premise(benchmark, ppl_cache):
+    """The accuracy half of the figure, as one cached pipeline sweep: at the
+    shared W4 operating point MicroScopiQ's PPL beats every baseline whose
+    accelerator it is compared against, and OliVe degrades hardest — the
+    reason its ArchSpec needs the 50% 8-bit mix to stay in the accuracy
+    band at all."""
+
+    def compute():
+        specs = _iso_specs()
+        ppl_cache.prefetch(specs.values())
+        return {k: ppl_cache.metrics(s)["ppl"] for k, s in specs.items()}
+
+    ppl = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Fig. 12 premise — W4 PPL at the iso-accuracy operating points",
+        ["model", "fp16"] + ISO_METHODS,
+        [
+            [f, f"{ppl[(f, 'fp16')]:.2f}"]
+            + [f"{ppl[(f, m)]:.2f}" for m in ISO_METHODS]
+            for f in ISO_FAMILIES
+        ],
+    )
+    for family in ISO_FAMILIES:
+        fp = ppl[(family, "fp16")]
+        ms = ppl[(family, "microscopiq")]
+        # MicroScopiQ W4 is near-lossless; the baselines' W4 points are not —
+        # which is why their ArchSpecs carry richer precision mixes.
+        assert ms < fp * 1.35
+        assert ms < ppl[(family, "olive")]
+        assert ms < ppl[(family, "gobo")]
+        assert ppl[(family, "olive")] == max(ppl[(family, m)] for m in ISO_METHODS)
 
 
 @pytest.mark.benchmark(group="fig12")

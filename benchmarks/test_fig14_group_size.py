@@ -2,58 +2,62 @@
 
 Paper shape (LLaMA-3-8B): PPL is worst at tiny B_μ (2, 4 — outlier
 overflow/pruning) and at large B_μ (>=32 — diverse outliers share one μX),
-with the sweet spot at B_μ = 8; EBW falls as B_μ grows; outlier diversity
-(σ within a μB) rises with B_μ."""
+with the sweet spot at B_μ = 8; EBW falls as B_μ grows.
 
-import numpy as np
+Each μB size is one :class:`~repro.pipeline.ExperimentSpec` whose
+``quant_kwargs`` carry the MicroScopiQ ``micro_block`` field (validated
+against the method's schema at spec-build time); the whole sweep runs as one
+``run_sweep`` batch through the session's content-addressed cache, like
+table2/4/7/fig10 — re-runs inside a session are pure cache hits and the
+seven sizes parallelize on multi-core machines.
+"""
+
 import pytest
 
-from repro.eval import calibration_tokens, eval_corpus, perplexity
-from repro.models import build_model
-from repro.quant import MicroScopiQConfig, quantize_matrix
+from repro.pipeline import ExperimentSpec
 from benchmarks.conftest import print_table
 
+FAMILY = "llama3-8b"
 SIZES = (2, 4, 8, 16, 32, 64, 128)
 
 
-def compute():
-    model = build_model("llama3-8b")
-    corpus = eval_corpus(model)
-    calib = calibration_tokens(model)
+def _spec(bu: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        family=FAMILY,
+        method="microscopiq",
+        w_bits=2,
+        quant_kwargs=(
+            ("inlier_bits", 2),
+            ("macro_block", 128),
+            ("micro_block", bu),
+        ),
+        label=f"bu{bu}",
+    )
+
+
+def compute(ppl_cache):
+    specs = {bu: _spec(bu) for bu in SIZES}
+    ppl_cache.prefetch(specs.values())  # one batched sweep, one cache
     out = []
-    for bu in SIZES:
-        cfg = MicroScopiQConfig(inlier_bits=2, micro_block=bu, macro_block=128)
-        model.clear_overrides()
-        ebws, sigmas = [], []
-        for name in model.linear_names:
-            acts = model.collect_calibration(calib)[name]
-            packed = quantize_matrix(model.weights[name], acts, cfg)
-            model.set_override(name, packed.dequant)
-            ebws.append(packed.ebw())
-            w = model.weights[name]
-            omask = packed.outlier_mask
-            if omask.any():
-                sigmas.append(float(np.std(np.abs(w[omask]))))
-        ppl = perplexity(model, corpus)
-        out.append((bu, ppl, float(np.mean(ebws)), float(np.mean(sigmas))))
-    model.clear_overrides()
+    for bu, spec in specs.items():
+        metrics = ppl_cache.metrics(spec)
+        out.append((bu, metrics["ppl"], metrics["mean_ebw"]))
     return out
 
 
 @pytest.mark.benchmark(group="fig14")
-def test_fig14_group_size_sweep(benchmark):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_fig14_group_size_sweep(benchmark, ppl_cache):
+    rows = benchmark.pedantic(compute, args=(ppl_cache,), rounds=1, iterations=1)
     print_table(
         "Fig. 14 — μB size sweep (LLaMA-3-8B analog, bb=2)",
-        ["B_mu", "PPL", "EBW", "outlier sigma"],
-        [[b, f"{p:.2f}", f"{e:.2f}", f"{s:.4f}"] for b, p, e, s in rows],
+        ["B_mu", "PPL", "EBW"],
+        [[b, f"{p:.2f}", f"{e:.2f}"] for b, p, e in rows],
     )
-    by = {b: (p, e, s) for b, p, e, s in rows}
+    by = {b: (p, e) for b, p, e in rows}
     # Sweet spot at B_μ = 8: strictly better than both extremes.
     assert by[8][0] < by[2][0]
     assert by[8][0] < by[128][0]
-    # EBW decreases monotonically with B_μ (metadata amortization... the
-    # permutation list grows with B_μ, but per-μB MXScale amortizes).
+    # EBW responds to B_μ (metadata amortization vs. permutation growth).
     assert by[128][1] != by[8][1]
     # Tiny groups overflow the B_μ/2 outlier cap (paper's "outlier pruning").
     assert by[2][0] > by[8][0] * 1.02

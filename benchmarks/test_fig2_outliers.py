@@ -3,18 +3,22 @@
 
 Shapes: modern FMs (LLaMA-3, VILA analogs) have >0.5% adjacent outliers,
 OPT-era ~0.02%; MicroScopiQ-W2 beats OliVe-W4 on outlier-rich families.
+
+The (b) accuracy cells run as ``ExperimentSpec`` pipeline jobs with the
+``tasks`` evaluation knob (like Table 3), so they share the session's
+content-addressed cache instead of driving ``quantize_model`` directly.
 """
 
 import numpy as np
 import pytest
 
-from repro.eval import LM_TASKS, quantize_model, task_accuracy, task_labels
 from repro.models import build_model
+from repro.pipeline import ExperimentSpec
 from repro.quant import outlier_stats
 from benchmarks.conftest import print_table
 
 FAMILIES = ["opt-6.7b", "llama2-13b", "llama3-8b", "mixtral-8x7b"]
-TASKS = ["piqa", "boolq", "hellaswag"]
+TASKS = ("piqa", "boolq", "hellaswag")
 
 
 def outlier_distribution():
@@ -33,18 +37,21 @@ def outlier_distribution():
     return rows
 
 
-def accuracy_comparison():
-    out = {"olive-W4": {}, "microscopiq-W2": {}}
-    for fam in ("llama3-8b", "llama2-13b"):
-        m = build_model(fam)
-        labels = {t: task_labels(m, LM_TASKS[t]) for t in TASKS}
-        quantize_model(m, "olive", 4)
+def accuracy_comparison(ppl_cache):
+    settings = {"olive-W4": ("olive", 4), "microscopiq-W2": ("microscopiq", 2)}
+    specs = {
+        (label, fam): ExperimentSpec(
+            family=fam, method=method, w_bits=wb, eval_kwargs=(("tasks", TASKS),)
+        )
+        for label, (method, wb) in settings.items()
+        for fam in ("llama3-8b", "llama2-13b")
+    }
+    ppl_cache.prefetch(specs.values())  # one batched, cached sweep
+    out = {label: {} for label in settings}
+    for (label, fam), spec in specs.items():
+        metrics = ppl_cache.metrics(spec)
         for t in TASKS:
-            out["olive-W4"][(fam, t)] = task_accuracy(m, *labels[t])
-        quantize_model(m, "microscopiq", 2)
-        for t in TASKS:
-            out["microscopiq-W2"][(fam, t)] = task_accuracy(m, *labels[t])
-        m.clear_overrides()
+            out[label][(fam, t)] = metrics[f"task:{t}"]
     return out
 
 
@@ -65,8 +72,10 @@ def test_fig2a_outlier_distribution(benchmark):
 
 
 @pytest.mark.benchmark(group="fig2")
-def test_fig2b_accuracy(benchmark):
-    acc = benchmark.pedantic(accuracy_comparison, rounds=1, iterations=1)
+def test_fig2b_accuracy(benchmark, ppl_cache):
+    acc = benchmark.pedantic(
+        accuracy_comparison, args=(ppl_cache,), rounds=1, iterations=1
+    )
     cells = sorted(acc["olive-W4"])
     print_table(
         "Fig. 2(b) — accuracy relative to FP (=100%)",

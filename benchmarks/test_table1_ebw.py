@@ -7,15 +7,15 @@ MicroScopiQ 2.36 bits.
 import numpy as np
 import pytest
 
-from repro.baselines import QUANTIZERS
+from repro.methods import get_method
 from benchmarks.conftest import print_table
 
 
 def compute(weights, calib):
     return {
-        "gobo (Group A)": QUANTIZERS["gobo"](weights, calib, bits=4).ebw,
-        "olive (Group B)": QUANTIZERS["olive"](weights, calib, bits=2).ebw,
-        "microscopiq": QUANTIZERS["microscopiq"](weights, calib, bits=2).ebw,
+        "gobo (Group A)": get_method("gobo").quantize(weights, calib, bits=4).ebw,
+        "olive (Group B)": get_method("olive").quantize(weights, calib, bits=2).ebw,
+        "microscopiq": get_method("microscopiq").quantize(weights, calib, bits=2).ebw,
     }
 
 

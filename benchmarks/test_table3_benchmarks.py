@@ -1,35 +1,49 @@
 """Table 3: LLaMA-2-70B-analog zero-shot benchmarks at W2A16.
 
 Paper shape: MicroScopiQ > OmniQuant > OliVe on ARC-c, HellaSwag, MMLU,
-WinoGrande (MicroScopiQ up to 9% ahead)."""
+WinoGrande (MicroScopiQ up to 9% ahead).
+
+Each method is one :class:`~repro.pipeline.ExperimentSpec` whose
+``eval_kwargs`` name the zero-shot task set — the LM evaluator scores them
+against a full-precision reference alongside perplexity, so the three
+W2 cells run as a single cached pipeline sweep (shared with any other bench
+touching the same settings) instead of three direct ``quantize_model``
+walks."""
 
 import pytest
 
-from repro.eval import LM_TASKS, quantize_model, task_accuracy, task_labels
-from repro.models import build_model
+from repro.pipeline import ExperimentSpec
 from benchmarks.conftest import print_table
 
-TASKS = ["arc-c", "hellaswag", "mmlu", "winogrande"]
+FAMILY = "llama2-70b"
+TASKS = ("arc-c", "hellaswag", "mmlu", "winogrande")
 METHODS = ["olive", "omniquant", "microscopiq"]
 
 
-def compute():
-    m = build_model("llama2-70b")
-    labels = {t: task_labels(m, LM_TASKS[t]) for t in TASKS}
-    acc = {}
-    for method in METHODS:
-        quantize_model(m, method, 2)
-        acc[method] = {t: task_accuracy(m, *labels[t]) for t in TASKS}
-        m.clear_overrides()
-    return acc
+def _spec(method: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        family=FAMILY,
+        method=method,
+        w_bits=2,
+        eval_kwargs=(("tasks", TASKS),),
+    )
+
+
+def compute(ppl_cache):
+    specs = {m: _spec(m) for m in METHODS}
+    ppl_cache.prefetch(specs.values())  # one batched, cached sweep
+    return {
+        m: {t: ppl_cache.metrics(s)[f"task:{t}"] for t in TASKS}
+        for m, s in specs.items()
+    }
 
 
 @pytest.mark.benchmark(group="table3")
-def test_table3_w2a16_benchmarks(benchmark):
-    acc = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_table3_w2a16_benchmarks(benchmark, ppl_cache):
+    acc = benchmark.pedantic(compute, args=(ppl_cache,), rounds=1, iterations=1)
     print_table(
         "Table 3 — LLaMA-2-70B analog, W2A16, accuracy relative to FP (=100)",
-        ["method"] + TASKS,
+        ["method"] + list(TASKS),
         [[m] + [f"{acc[m][t]:.1f}" for t in TASKS] for m in METHODS],
     )
     wins_omni = sum(acc["microscopiq"][t] >= acc["omniquant"][t] for t in TASKS)

@@ -25,7 +25,19 @@ for bits in (4, 2):
         f"outliers kept = {packed.n_outliers}  pruned = {packed.n_pruned}"
     )
 
-# --- 2. A whole model -----------------------------------------------------
+# --- 2. Any method through the first-class method API ---------------------
+from repro.methods import get_method
+
+for name in ("rtn", "gptq", "microscopiq"):
+    spec = get_method(name)
+    caps = spec.capabilities()
+    res = spec.quantize(w, x, bits=4)  # prepare -> resources -> quantize_layer
+    print(
+        f"{name:12s} hessian={str(caps['hessian']):5s} "
+        f"err={res.reconstruction_error(w, x):.4f}  params: {caps['params']}"
+    )
+
+# --- 3. A whole model -----------------------------------------------------
 model = build_model("llama3-8b")  # synthetic LLaMA-3-8B analog
 corpus = eval_corpus(model)
 print(f"\nFP16 baseline PPL: {perplexity(model, corpus):.2f}")

@@ -7,6 +7,9 @@ Subpackages:
     formats      — INT / minifloat / MX-INT / MX-FP number formats, EBW
     quant        — the MicroScopiQ quantizer (Hessian engine, outlier
                    handling, N:M redistribution pruning, packing)
+    methods      — the first-class quantization-method API: MethodSpec
+                   capability registry, Quantizer lifecycle, HessianBundle
+                   resources and the two-tier HessianStore
     baselines    — RTN, GPTQ, AWQ, SmoothQuant, OmniQuant, Atom, SDQ,
                    OliVe, GOBO + the Omni-MicroScopiQ combination
     models       — synthetic FM substrates (transformer LM, VLM, CNN, SSM)
@@ -17,9 +20,22 @@ Subpackages:
     core         — the high-level public API
     pipeline     — parallel experiment orchestration: declarative sweeps,
                    content-addressed result caching, the repro-sweep CLI
+    plugins      — entry-point discovery of third-party methods/substrates
 """
 
-from . import accelerator, baselines, core, eval, formats, gpu, models, pipeline, quant
+from . import (
+    accelerator,
+    baselines,
+    core,
+    eval,
+    formats,
+    gpu,
+    methods,
+    models,
+    pipeline,
+    plugins,
+    quant,
+)
 from .core import (
     MicroScopiQConfig,
     PackedLayer,
@@ -27,10 +43,12 @@ from .core import (
     quantize_matrix,
     quantize_model,
 )
+from .methods import MethodSpec, get_method, register_method
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "MethodSpec",
     "MicroScopiQConfig",
     "PackedLayer",
     "QuantizationReport",
@@ -39,10 +57,14 @@ __all__ = [
     "core",
     "eval",
     "formats",
+    "get_method",
     "gpu",
+    "methods",
     "models",
     "pipeline",
+    "plugins",
     "quant",
     "quantize_matrix",
     "quantize_model",
+    "register_method",
 ]

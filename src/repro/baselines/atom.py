@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..methods.resources import HessianBundle
 from ..quant.activation import ActivationQuantizer
-from ..quant.hessian import layer_hessian
 from .base import BaselineResult
 from .gptq import gptq_core
 
@@ -25,16 +25,25 @@ def quantize_atom(
     act_bits: int | None = None,
     n_outlier_channels: int = 16,
     group_size: int = 128,
+    hessian: np.ndarray | HessianBundle | None = None,
 ) -> BaselineResult:
-    """Atom-style quantization; keeps high-activation channels at 8 bits."""
+    """Atom-style quantization; keeps high-activation channels at 8 bits.
+
+    A precomputed ``hessian`` (raw ``H`` or a store-provided
+    :class:`~repro.methods.resources.HessianBundle`) skips the ``X^T X``
+    build; the channel ordering still reads the raw calibration magnitudes.
+    """
     w = np.asarray(weights, dtype=np.float64)
     d_in = w.shape[1]
     if calib_inputs is None:
-        hessian = np.eye(d_in)
+        hessian_mat = np.eye(d_in)
         order = np.arange(d_in)
     else:
         x = np.asarray(calib_inputs, dtype=np.float64)
-        hessian = layer_hessian(x)
+        bundle = (
+            HessianBundle.wrap(hessian) if hessian is not None else HessianBundle(x)
+        )
+        hessian_mat = bundle.h
         order = np.argsort(-np.max(np.abs(x), axis=0), kind="stable")
 
     k = min(n_outlier_channels, d_in)
@@ -45,7 +54,7 @@ def quantize_atom(
     # together (Atom's fused-kernel layout); results map back afterwards.
     perm = np.concatenate([order[:k], order[k:]])
     inv_perm = np.argsort(perm)
-    h_p = hessian[np.ix_(perm, perm)]
+    h_p = hessian_mat[np.ix_(perm, perm)]
     # Atom grid-searches a per-group clip ratio; at 2 bits clipping is
     # essential (matching its published configuration).
     clip = 0.75 if bits <= 2 else 1.0

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..quant.hessian import cholesky_inverse_factor, layer_hessian
+from ..methods.resources import HessianBundle
 from ..quant.kernel import BlockQuantKernel
 from .base import BaselineResult, group_float_scale
 
@@ -19,7 +19,7 @@ __all__ = ["quantize_gptq", "gptq_core"]
 
 def gptq_core(
     weights: np.ndarray,
-    hessian: np.ndarray,
+    hessian: np.ndarray | HessianBundle,
     bits_per_col: np.ndarray,
     group_size: int = 128,
     clip_ratio: float = 1.0,
@@ -31,10 +31,15 @@ def gptq_core(
     per ``group_size`` columns) are recomputed from the *updated* weights at
     each group boundary; error propagation is the shared OBS stage on
     :class:`BlockQuantKernel` (single-column blocks = plain GPTQ).
+
+    ``hessian`` is a raw damped ``H`` or a
+    :class:`~repro.methods.resources.HessianBundle`; passing the bundle lets
+    a multi-setting sweep reuse one Cholesky factorization instead of
+    re-inverting ``H`` per setting.
     """
     w = np.array(weights, dtype=np.float64)
     d_out, d_in = w.shape
-    u = cholesky_inverse_factor(hessian)
+    u = HessianBundle.wrap(hessian).u_factor
     q = np.zeros_like(w)
     kernel = BlockQuantKernel(group_size, detect_outliers=False)
     for lo, hi in kernel.blocks(d_in):
@@ -57,20 +62,23 @@ def quantize_gptq(
     bits: int = 4,
     group_size: int = 128,
     damp_ratio: float = 0.01,
-    hessian: np.ndarray | None = None,
+    hessian: np.ndarray | HessianBundle | None = None,
 ) -> BaselineResult:
     """Uniform-precision GPTQ. Falls back to RTN math if no calibration.
 
-    A precomputed ``hessian`` (e.g. from the engine's
-    :class:`~repro.quant.engine.HessianStore`) skips the ``X^T X`` build.
+    A precomputed ``hessian`` — a raw ``H`` or the engine-provided
+    :class:`~repro.methods.resources.HessianBundle` — skips the ``X^T X``
+    build (and, for a bundle, the inversion/factorization too).
     """
     w = np.asarray(weights, dtype=np.float64)
     d_in = w.shape[1]
     if hessian is None:
         if calib_inputs is None:
-            hessian = np.eye(d_in)
+            bundle = HessianBundle(h=np.eye(d_in))
         else:
-            hessian = layer_hessian(calib_inputs, damp_ratio)
+            bundle = HessianBundle(calib_inputs, damp_ratio)
+    else:
+        bundle = HessianBundle.wrap(hessian)
     bits_per_col = np.full(d_in, bits, dtype=np.int32)
-    dq = gptq_core(w, hessian, bits_per_col, group_size)
+    dq = gptq_core(w, bundle, bits_per_col, group_size)
     return BaselineResult("gptq", dq, float(bits), {"group_size": group_size})

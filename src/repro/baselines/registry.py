@@ -1,7 +1,25 @@
-"""Name → quantizer registry used by the evaluation harness and benches."""
+"""Legacy name → quantizer-function registry (deprecated shim).
+
+The flat ``QUANTIZERS`` dict of positional ``quantize_<name>(weights,
+calib_inputs=None, **kwargs)`` callables was superseded by the declarative
+:mod:`repro.methods` registry — :class:`~repro.methods.MethodSpec` carries
+the capability flags and validated parameter schema the engine, pipeline,
+and CLI now consult, and its class-based lifecycle
+(``prepare``/``quantize_layer``) replaces the bare-callable contract.
+
+``QUANTIZERS`` remains as a :class:`DeprecationWarning`-emitting shim over
+the same kernel functions so existing code keeps working; migrate to::
+
+    from repro.methods import get_method
+    result = get_method("gptq").quantize(weights, calib, bits=4)
+
+:func:`get_quantizer` still returns the raw kernel function (it is the
+reference the engine's bit-identity tests walk), without a warning.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict
 
 from .atom import quantize_atom
@@ -17,7 +35,7 @@ from .smoothquant import quantize_smoothquant
 
 __all__ = ["QUANTIZERS", "get_quantizer"]
 
-QUANTIZERS: Dict[str, Callable] = {
+_FUNCTIONS: Dict[str, Callable] = {
     "rtn": quantize_rtn,
     "gptq": quantize_gptq,
     "awq": quantize_awq,
@@ -32,10 +50,34 @@ QUANTIZERS: Dict[str, Callable] = {
 }
 
 
+class _DeprecatedQuantizers(dict):
+    """``QUANTIZERS`` compatibility view that warns on value access."""
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "repro.baselines.QUANTIZERS is deprecated; use the repro.methods "
+            "registry (get_method(name).quantize(...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key: str) -> Callable:
+        self._warn()
+        return dict.__getitem__(self, key)
+
+    def get(self, key, default=None):
+        self._warn()
+        return dict.get(self, key, default)
+
+
+QUANTIZERS: Dict[str, Callable] = _DeprecatedQuantizers(_FUNCTIONS)
+
+
 def get_quantizer(name: str) -> Callable:
-    """Look up a quantizer by name; raises with the known list on miss."""
+    """Look up a raw quantizer kernel by name; raises with the known list on
+    miss. Prefer :func:`repro.methods.get_method` for new code."""
     try:
-        return QUANTIZERS[name]
+        return _FUNCTIONS[name]
     except KeyError:
-        known = ", ".join(sorted(QUANTIZERS))
+        known = ", ".join(sorted(_FUNCTIONS))
         raise KeyError(f"unknown quantizer {name!r}; known: {known}") from None

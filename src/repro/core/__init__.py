@@ -14,6 +14,10 @@ with pruning-based bit redistribution — is exposed here:
 * :class:`Substrate` / :data:`SUBSTRATES` — the protocol behind that duck
   typing and the registry of workload classes (LM / VLM / CNN / SSM) with
   their builders, calibration sets, and task metrics;
+* :class:`MethodSpec` / :data:`METHODS` — the declarative quantization-
+  method registry (capability flags, validated parameter schemas, the
+  ``prepare``/``quantize_layer`` lifecycle) with
+  :class:`HessianBundle` lazily-factored Hessian resources;
 * the accelerator co-design lives in :mod:`repro.accelerator`, the GPU
   cost model in :mod:`repro.gpu`.
 
@@ -29,6 +33,14 @@ Quickstart::
 """
 
 from ..eval.harness import QuantizationReport, quantize_model
+from ..methods import (
+    METHODS,
+    HessianBundle,
+    MethodSpec,
+    Quantizer,
+    get_method,
+    register_method,
+)
 from ..quant.config import MicroScopiQConfig
 from ..quant.engine import HessianStore, default_hessian_store
 from ..quant.microscopiq import quantize_matrix, quantize_microscopiq
@@ -46,20 +58,26 @@ from .substrate import (
 )
 
 __all__ = [
+    "HessianBundle",
     "HessianStore",
+    "METHODS",
+    "MethodSpec",
     "MicroScopiQConfig",
     "PackedLayer",
     "QuantizationReport",
+    "Quantizer",
     "SUBSTRATES",
     "Substrate",
     "SubstrateSpec",
     "calibration_groups",
     "default_hessian_store",
+    "get_method",
     "get_substrate",
     "known_substrates",
     "quantize_matrix",
     "quantize_microscopiq",
     "quantize_model",
+    "register_method",
     "register_substrate",
     "substrate_families",
     "substrate_for_model",

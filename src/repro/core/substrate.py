@@ -132,7 +132,15 @@ def register_substrate(spec: SubstrateSpec) -> SubstrateSpec:
 
 
 def get_substrate(name: str) -> SubstrateSpec:
-    """Look up a substrate by name; raises with the known list on miss."""
+    """Look up a substrate by name; tries the plugin loader once on a miss
+    and raises with the known list if the name is still absent."""
+    try:
+        return SUBSTRATES[name]
+    except KeyError:
+        pass
+    from .. import plugins
+
+    plugins.load_plugins()
     try:
         return SUBSTRATES[name]
     except KeyError:
@@ -207,8 +215,14 @@ def _lm_groups(model) -> List[List[str]]:
     return _transformer_groups(model.profile.n_layers)
 
 
-def _lm_evaluate(model, eval_sequences, eval_seq_len, rng, **_) -> Dict[str, Any]:
-    """Perplexity over the family's held-out corpus, with a bootstrap SE."""
+def _lm_evaluate(model, eval_sequences, eval_seq_len, rng, tasks=None, **_) -> Dict[str, Any]:
+    """Perplexity over the family's held-out corpus, with a bootstrap SE.
+
+    ``tasks`` (an ``eval_kwargs`` knob) additionally scores the named
+    zero-shot ranking tasks of :data:`~repro.eval.tasks.LM_TASKS` against a
+    fresh full-precision reference (which defines the labels), adding one
+    ``task:<name>`` accuracy per task — the Table 3 pipeline path.
+    """
     from ..eval.corpus import eval_corpus
     from ..eval.perplexity import nll_per_sequence
 
@@ -218,7 +232,25 @@ def _lm_evaluate(model, eval_sequences, eval_seq_len, rng, **_) -> Dict[str, Any
     metrics["ppl"] = float(np.exp(metrics["nll"]))
     resamples = rng.integers(0, len(seq_nll), size=(_BOOTSTRAP_RESAMPLES, len(seq_nll)))
     metrics["nll_se"] = float(np.std(np.mean(seq_nll[resamples], axis=1)))
+    if tasks:
+        from ..eval.tasks import task_accuracy
+
+        for name in tasks:
+            prompts, candidates = _lm_task_labels(model.profile.name, name)
+            metrics[f"task:{name}"] = task_accuracy(model, prompts, candidates)
     return metrics
+
+
+@lru_cache(maxsize=64)
+def _lm_task_labels(family: str, task: str):
+    """(prompts, candidates) for one (family, task) — labels come from the
+    FP reference, are deterministic in the family profile, and are shared by
+    every method/setting job of a session, so the FP model is built once per
+    pair instead of once per task-scored job."""
+    from ..eval.tasks import LM_TASKS, task_labels
+    from ..models.transformer import build_model
+
+    return task_labels(build_model(family), LM_TASKS[task])
 
 
 def _lm_owns(model) -> bool:

@@ -16,7 +16,6 @@ and takes its randomness from the caller-provided generator, so a given
 
 from __future__ import annotations
 
-from dataclasses import fields as dataclass_fields
 from typing import Any, Dict, Optional
 
 import numpy as np
@@ -47,29 +46,6 @@ def quantize_model(
 
 
 _FP_METHOD = "fp16"
-
-
-def _split_quant_kwargs(method: str, quant_kwargs: Dict[str, Any], w_bits: int):
-    """Turn flat, JSON-able job kwargs into quantizer call kwargs.
-
-    MicroScopiQ's knobs live on :class:`~repro.quant.MicroScopiQConfig`, so
-    config-field names are folded into a ``config=`` object; every other
-    method takes its keywords directly (``group_size=…``, ``damp_ratio=…``).
-    """
-    from ..quant.config import MicroScopiQConfig
-
-    config_fields = {f.name for f in dataclass_fields(MicroScopiQConfig)}
-    cfg_kw = {k: v for k, v in quant_kwargs.items() if k in config_fields}
-    passthrough = {k: v for k, v in quant_kwargs.items() if k not in config_fields}
-    if method in ("microscopiq", "omni-microscopiq") and cfg_kw:
-        cfg_kw.setdefault("inlier_bits", w_bits)
-        passthrough["config"] = MicroScopiQConfig(**cfg_kw)
-    elif cfg_kw:
-        raise ValueError(
-            f"method {method!r} does not take MicroScopiQConfig fields: "
-            f"{sorted(cfg_kw)}"
-        )
-    return passthrough
 
 
 def evaluate_setting(
@@ -115,9 +91,12 @@ def evaluate_setting(
     metrics: Dict[str, Any] = {"family": family, "substrate": substrate, "method": method}
 
     if method != _FP_METHOD:
-        kwargs = _split_quant_kwargs(method, dict(quant_kwargs or {}), w_bits)
+        # Flat JSON-able job kwargs go straight to the engine: the method's
+        # spec validates them against its schema and its adapter folds
+        # MicroScopiQConfig fields into a config= object where needed.
         report = quantize_model(
-            model, method, w_bits, act_bits=act_bits, calibration=calibration, **kwargs
+            model, method, w_bits, act_bits=act_bits, calibration=calibration,
+            **dict(quant_kwargs or {}),
         )
         metrics["w_bits"] = w_bits
         metrics["act_bits"] = act_bits

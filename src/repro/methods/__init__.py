@@ -1,0 +1,137 @@
+"""First-class quantization-method API: specs, lifecycle, and the registry.
+
+The :data:`METHODS` registry maps method names to declarative
+:class:`MethodSpec` objects — capability flags, validated parameter schema,
+and a factory for the class-based :class:`Quantizer` lifecycle
+(``prepare(layer_ctx) → resources`` then
+``quantize_layer(weights, resources, **params)``). The engine, pipeline, and
+CLI all consult the registry instead of hard-coding per-method knowledge;
+third-party methods register through :func:`register_method` or the
+``repro.methods`` entry-point group discovered by :mod:`repro.plugins`.
+
+Quickstart::
+
+    from repro.methods import get_method
+
+    spec = get_method("gptq")
+    result = spec.quantize(weights, calib, bits=4)      # full lifecycle
+    print(spec.capabilities())                          # what the CLI prints
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .builtin import BaselineAdapter, builtin_method_specs
+from .resources import HessianBundle, HessianStore, default_hessian_store
+from .spec import (
+    LayerContext,
+    LayerResources,
+    MethodParamError,
+    MethodSpec,
+    MethodSubstrateError,
+    Param,
+    Quantizer,
+)
+
+__all__ = [
+    "BaselineAdapter",
+    "HessianBundle",
+    "HessianStore",
+    "LayerContext",
+    "LayerResources",
+    "METHODS",
+    "MethodParamError",
+    "MethodSpec",
+    "MethodSubstrateError",
+    "Param",
+    "Quantizer",
+    "default_hessian_store",
+    "get_method",
+    "known_method_names",
+    "register_method",
+]
+
+
+class _MethodRegistry(dict):
+    """``{name: MethodSpec}`` that self-populates with the built-ins.
+
+    Population is deferred to first *read* (not import) so the method specs
+    can reference the baseline kernels without creating an import cycle
+    (``baselines`` → ``quant.engine`` → ``methods`` → ``baselines``).
+    Explicit registrations always win over the lazy built-in fill.
+    """
+
+    _loaded = False
+
+    def _ensure(self) -> None:
+        if not self._loaded:
+            # Flag first: builtin_method_specs() imports baselines, which may
+            # re-enter the registry through the engine.
+            self.__class__._loaded = True
+            for spec in builtin_method_specs():
+                self.setdefault(spec.name, spec)
+
+    def __missing__(self, key: str) -> MethodSpec:
+        self._ensure()
+        if dict.__contains__(self, key):
+            return dict.__getitem__(self, key)
+        raise KeyError(key)
+
+    def __contains__(self, key: object) -> bool:
+        self._ensure()
+        return dict.__contains__(self, key)
+
+    def __iter__(self) -> Iterator[str]:
+        self._ensure()
+        return dict.__iter__(self)
+
+    def __len__(self) -> int:
+        self._ensure()
+        return dict.__len__(self)
+
+    def keys(self):
+        self._ensure()
+        return dict.keys(self)
+
+    def values(self):
+        self._ensure()
+        return dict.values(self)
+
+    def items(self):
+        self._ensure()
+        return dict.items(self)
+
+    def get(self, key, default=None):
+        self._ensure()
+        return dict.get(self, key, default)
+
+
+METHODS: _MethodRegistry = _MethodRegistry()
+
+
+def register_method(spec: MethodSpec) -> MethodSpec:
+    """Add ``spec`` to the registry (last registration wins)."""
+    METHODS._ensure()
+    dict.__setitem__(METHODS, spec.name, spec)
+    return spec
+
+
+def get_method(name: str) -> MethodSpec:
+    """Look up a method by name; tries the plugin loader once on a miss."""
+    try:
+        return METHODS[name]
+    except KeyError:
+        pass
+    from .. import plugins
+
+    plugins.load_plugins()
+    try:
+        return METHODS[name]
+    except KeyError:
+        known = ", ".join(sorted(METHODS))
+        raise KeyError(f"unknown method {name!r}; known: {known}") from None
+
+
+def known_method_names() -> List[str]:
+    return sorted(METHODS)

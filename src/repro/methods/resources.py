@@ -1,0 +1,344 @@
+"""Shared quantization resources: lazy Hessian factor bundles and their store.
+
+The layer Hessian ``H = 2 X Xᵀ + λI`` and everything derived from it — the
+inverse, its diagonal (OBS pruning saliency), and the upper Cholesky factor
+of the inverse (GPTQ error compensation) — depend only on the calibration
+activations and the damping, never on the bit setting or method knobs. A
+:class:`HessianBundle` therefore owns one (activations, λ) fingerprint and
+computes each factor **lazily, exactly once**: a sweep that quantizes the
+same layer at W4 and then W2 pays the O(d³) inversion a single time, where
+the pre-bundle code re-inverted per setting.
+
+The :class:`HessianStore` memoizes bundles by content fingerprint with two
+tiers:
+
+* an in-process LRU (thread-safe; concurrent requests for one fingerprint
+  coalesce on the bundle's own lock, so a wq/wk/wv group dispatched in
+  parallel builds its shared ``H`` once);
+* an optional **content-addressed disk tier** (``<root>/<hh>/<fp>.npy``
+  blobs, written atomically) so process-pool sweeps stop recomputing
+  Hessians per worker: the first worker to build an ``H`` persists it, every
+  other worker — and every later *process* — loads the blob instead of
+  re-running the O(n·d²) ``XᵀX`` build. ``hits`` / ``disk_hits`` /
+  ``misses`` counters make the reuse assertable.
+
+:func:`default_hessian_store` returns the process-wide store; its disk tier
+attaches from the ``REPRO_HESSIAN_DIR`` environment variable, which the
+sweep runner sets (next to the ``ResultCache``) before spawning workers so
+the whole pool shares one tier without any pickled plumbing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "HESSIAN_DIR_ENV",
+    "HessianBundle",
+    "HessianStore",
+    "default_hessian_store",
+]
+
+HESSIAN_DIR_ENV = "REPRO_HESSIAN_DIR"
+
+
+class HessianBundle:
+    """Lazily-computed Hessian and factors for one (activations, λ) pair.
+
+    Factors cascade: ``h`` → ``hinv`` → ``hinv_diag`` / ``u_factor``. Each is
+    computed on first access, under the bundle lock, and cached forever; the
+    ``h_builds`` / ``inversions`` / ``factorizations`` counters record what
+    was actually computed so sweeps can assert reuse. The bundle is what the
+    method API's ``prepare`` step hands to Hessian-aware quantizers in place
+    of a raw ``H`` matrix.
+    """
+
+    def __init__(
+        self,
+        acts: Optional[np.ndarray] = None,
+        damp_ratio: float = 0.01,
+        h: Optional[np.ndarray] = None,
+        loader=None,
+        on_h_computed=None,
+    ):
+        if acts is None and h is None and loader is None:
+            raise ValueError("HessianBundle needs activations, a Hessian, or a loader")
+        self.acts = acts
+        self.damp_ratio = float(damp_ratio)
+        self._h = h
+        self._hinv: Optional[np.ndarray] = None
+        self._hinv_diag: Optional[np.ndarray] = None
+        self._u: Optional[np.ndarray] = None
+        self._loader = loader
+        self._on_h_computed = on_h_computed
+        self._lock = threading.RLock()
+        self.h_builds = 0
+        self.inversions = 0
+        self.factorizations = 0
+
+    @classmethod
+    def wrap(cls, hessian: Union[np.ndarray, "HessianBundle"]) -> "HessianBundle":
+        """Adapt a raw ``H`` matrix (the legacy ``hessian=`` contract) into a
+        bundle; bundles pass through untouched."""
+        if isinstance(hessian, HessianBundle):
+            return hessian
+        return cls(h=np.asarray(hessian))
+
+    # ----------------------------------------------------------- lazy factors
+    @property
+    def h(self) -> np.ndarray:
+        """The damped layer Hessian, built / loaded on first access."""
+        with self._lock:
+            if self._h is None:
+                if self._loader is not None:
+                    self._h = self._loader()
+                    self._loader = None
+                if self._h is None:
+                    from ..quant.hessian import layer_hessian
+
+                    self._h = layer_hessian(self.acts, self.damp_ratio)
+                    self.h_builds += 1
+                    if self._on_h_computed is not None:
+                        self._on_h_computed(self._h)
+                # H is all any factor needs from here on; dropping the
+                # activation reference keeps a store full of bundles from
+                # pinning every layer's [n, d_in] calibration matrix.
+                self.acts = None
+                self._on_h_computed = None
+            return self._h
+
+    @property
+    def h_diag(self) -> np.ndarray:
+        """``diag(H)`` — the LWC column-importance weights."""
+        return np.diag(self.h)
+
+    @property
+    def hinv(self) -> np.ndarray:
+        """``H⁻¹`` (symmetrized), inverted exactly once per bundle."""
+        with self._lock:
+            if self._hinv is None:
+                from ..quant.hessian import inverse_hessian
+
+                self._hinv = inverse_hessian(self.h)
+                self.inversions += 1
+            return self._hinv
+
+    @property
+    def hinv_diag(self) -> np.ndarray:
+        """``diag(H⁻¹)`` — the OBS pruning-saliency denominators."""
+        with self._lock:
+            if self._hinv_diag is None:
+                self._hinv_diag = np.diag(self.hinv).copy()
+            return self._hinv_diag
+
+    @property
+    def u_factor(self) -> np.ndarray:
+        """Upper Cholesky factor ``U`` with ``H⁻¹ = UᵀU`` (GPTQ's form)."""
+        with self._lock:
+            if self._u is None:
+                low = np.linalg.cholesky(self.hinv)
+                self._u = np.ascontiguousarray(low.T)
+                self.factorizations += 1
+            return self._u
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        have = [
+            name
+            for name, v in (("h", self._h), ("hinv", self._hinv), ("u", self._u))
+            if v is not None
+        ]
+        return f"HessianBundle(damp={self.damp_ratio}, computed={'+'.join(have) or 'nothing'})"
+
+
+class HessianStore:
+    """Content-fingerprinted, LRU-bounded memo of per-layer Hessian bundles.
+
+    Keys are a SHA-256 over the raw calibration activations plus the damping
+    ratio, so the store is safe to share across layers, settings, and whole
+    sweeps: identical activations → identical bundle, regardless of which
+    (method × bits) setting asked for it. ``bundle`` is the primary API;
+    ``hessian`` keeps the legacy raw-``H`` contract. Thread-safe: the store
+    lock only guards the (cheap) get-or-create, while the O(n·d²)/O(d³)
+    computation runs under the bundle's own lock, which is what coalesces a
+    thread-dispatched wq/wk/wv group onto one ``XᵀX`` build.
+
+    With ``disk_root`` set, every freshly built ``H`` is persisted as a
+    content-addressed ``.npy`` blob and later stores — including ones in
+    *other processes* — resolve the fingerprint from disk (``disk_hits``)
+    instead of recomputing (``misses``).
+    """
+
+    def __init__(self, max_entries: int = 64, disk_root: Optional[os.PathLike] = None):
+        self.max_entries = int(max_entries)
+        self.disk_root = Path(disk_root) if disk_root is not None else None
+        self._data: "OrderedDict[str, HessianBundle]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def fingerprint(acts: np.ndarray, damp_ratio: float) -> str:
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(acts).tobytes())
+        h.update(repr((acts.shape, acts.dtype.str, float(damp_ratio))).encode())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------- disk tier
+    def _blob_path(self, key: str) -> Optional[Path]:
+        if self.disk_root is None:
+            return None
+        return self.disk_root / key[:2] / f"{key}.npy"
+
+    def _disk_loader(self, key: str):
+        """A lazy loader for an on-disk blob; ``None`` when absent.
+
+        A blob that exists but fails to load (truncated write, version skew)
+        re-classifies the earlier ``disk_hits`` count as a miss, so the
+        counters always report what actually happened, not what the
+        directory listing promised.
+        """
+        path = self._blob_path(key)
+        if path is None or not path.is_file():
+            return None
+
+        def load() -> Optional[np.ndarray]:
+            try:
+                return np.load(path)
+            except (OSError, ValueError):
+                with self._lock:  # corrupt blob: that "hit" was really a miss
+                    self.disk_hits -= 1
+                    self.misses += 1
+                return None  # fall through to rebuild from activations
+
+        return load
+
+    def _disk_writer(self, key: str):
+        """A callback persisting a freshly built ``H``; ``None`` if no tier."""
+        path = self._blob_path(key)
+        if path is None:
+            return None
+
+        def write(h: np.ndarray) -> None:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as f:
+                        np.save(f, h)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                pass  # a read-only or full disk never fails the sweep
+
+        return write
+
+    # ----------------------------------------------------------------- reads
+    def bundle(self, acts: np.ndarray, damp_ratio: float) -> HessianBundle:
+        """The (cached) factor bundle for these activations + damping."""
+        key = self.fingerprint(acts, damp_ratio)
+        with self._lock:
+            found = self._data.get(key)
+            if found is not None:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return found
+            loader = self._disk_loader(key)
+            if loader is not None:
+                self.disk_hits += 1
+            else:
+                self.misses += 1
+            made = HessianBundle(
+                acts,
+                damp_ratio,
+                loader=loader,
+                on_h_computed=self._disk_writer(key),
+            )
+            self._data[key] = made
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+            return made
+
+    def hessian(self, acts: np.ndarray, damp_ratio: float) -> np.ndarray:
+        """The (cached) damped layer Hessian of ``acts`` (legacy raw form)."""
+        return self.bundle(acts, damp_ratio).h
+
+    @classmethod
+    def clean_disk(cls, disk_root: os.PathLike, older_than: Optional[float] = None) -> int:
+        """Delete tier blobs under ``disk_root`` (all, or only ones older
+        than ``older_than`` seconds); empty shard dirs go too. The layout
+        knowledge stays here, beside :meth:`_blob_path`. Returns the number
+        of blobs removed."""
+        import time
+
+        root = Path(disk_root)
+        removed = 0
+        now = time.time()
+        for blob in root.glob("??/*.npy"):
+            try:
+                if older_than is not None and now - blob.stat().st_mtime < older_than:
+                    continue
+                blob.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in root.glob("??"):
+            try:
+                shard.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+        return removed
+
+    # -------------------------------------------------------------- counters
+    @property
+    def inversions(self) -> int:
+        """Total ``H⁻¹`` computations across the store's live bundles."""
+        with self._lock:
+            return sum(b.inversions for b in self._data.values())
+
+    @property
+    def factorizations(self) -> int:
+        """Total Cholesky factorizations across the store's live bundles."""
+        with self._lock:
+            return sum(b.factorizations for b in self._data.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.disk_hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_DEFAULT_STORE = HessianStore()
+
+
+def default_hessian_store() -> HessianStore:
+    """The process-wide store shared by all in-process jobs of a sweep.
+
+    The disk tier attaches (or re-targets) from ``REPRO_HESSIAN_DIR`` on
+    every call: the sweep runner exports the variable before spawning its
+    worker pool, so forked/spawned workers inherit the tier through the
+    environment with no pickled state.
+    """
+    env = os.environ.get(HESSIAN_DIR_ENV)
+    target = Path(env) if env else None
+    if _DEFAULT_STORE.disk_root != target:
+        _DEFAULT_STORE.disk_root = target
+    return _DEFAULT_STORE

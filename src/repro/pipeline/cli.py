@@ -5,11 +5,16 @@ Three subcommands:
 * ``sweep`` — enumerate a grid (substrates × families × methods × bits ×
   group sizes × calibration modes), run it through the cache + executor,
   print the pivot table, optionally dump JSON records; ``--list-families``
-  / ``--list-methods`` / ``--list-substrates`` print the valid axis values
-  and exit;
+  / ``--list-methods`` (a capability table: hessian? act? per-tensor?
+  substrates, parameter schema) / ``--list-substrates`` / ``--list-plugins``
+  (entry-point-discovered methods and substrates) print the valid axis
+  values and exit;
 * ``show``  — summarize what the cache already holds;
 * ``clean`` — purge cached results (optionally only entries older than
   ``--older-than`` seconds / ``--max-age-hours`` hours).
+
+Plugins are loaded at startup, so entry-point / ``REPRO_PLUGINS`` methods
+and substrates are first-class axis values everywhere.
 """
 
 from __future__ import annotations
@@ -98,9 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--list-families", action="store_true",
                        help="print the known families per substrate and exit")
     sweep.add_argument("--list-methods", action="store_true",
-                       help="print the known quantization methods and exit")
+                       help="print the method capability table (hessian? "
+                            "act? per-tensor? substrates, params) and exit")
     sweep.add_argument("--list-substrates", action="store_true",
                        help="print the registered substrates and exit")
+    sweep.add_argument("--list-plugins", action="store_true",
+                       help="print entry-point/REPRO_PLUGINS-discovered "
+                            "methods and substrates and exit")
 
     show = sub.add_parser("show", help="summarize the result cache")
     show.add_argument("--cache-dir", default=DEFAULT_CACHE)
@@ -125,6 +134,55 @@ def _substrate_metric(substrate: str) -> str:
     return get_substrate(substrate).metric
 
 
+def _print_method_table() -> None:
+    """The capability table: one row per method, fp16 reference included."""
+    from ..methods import METHODS
+
+    header = ("method", "hessian", "act", "per-tensor", "group-knob",
+              "substrates", "source")
+    rows = [("fp16", "-", "-", "-", "-", "all", "builtin")]
+    schemas = [("fp16", "(no parameters — the full-precision reference)")]
+    for name in sorted(METHODS):
+        caps = METHODS[name].capabilities()
+        rows.append((
+            name,
+            "yes" if caps["hessian"] else "-",
+            "yes" if caps["act"] else "-",
+            "yes" if caps["per_tensor"] else "-",
+            caps["group_param"] or "-",
+            caps["substrates"],
+            caps["source"],
+        ))
+        schemas.append((name, caps["params"]))
+    widths = [max(len(str(r[i])) for r in [header] + rows) + 2 for i in range(len(header))]
+    print("methods:")
+    print("  " + "".join(h.ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  " + "".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    print("\nparameters:")
+    for name, schema in schemas:
+        print(f"  {name}: {schema}")
+
+
+def _print_plugin_listing() -> None:
+    from ..plugins import loaded_plugins
+
+    records = loaded_plugins()
+    if not records:
+        print("plugins: none discovered (entry-point groups repro.methods / "
+              "repro.substrates, or REPRO_PLUGINS=module:attr,...)")
+        return
+    print("plugins:")
+    for rec in records:
+        if rec.ok:
+            what = ", ".join(
+                f"{kind} {name!r}" for kind, name in zip(rec.kinds, rec.registered)
+            ) or "nothing registered"
+            print(f"  {rec.source} [{rec.name}]: {what}")
+        else:
+            print(f"  {rec.source} [{rec.name}]: FAILED — {rec.error}")
+
+
 def _print_listings(args: argparse.Namespace) -> bool:
     """Handle the discovery flags; returns True if any listing was printed."""
     from ..core.substrate import SUBSTRATES, substrate_families
@@ -142,7 +200,10 @@ def _print_listings(args: argparse.Namespace) -> bool:
             print(f"  {name}: {', '.join(substrate_families(name))}")
         listed = True
     if args.list_methods:
-        print("methods:", ", ".join(known_methods()))
+        _print_method_table()
+        listed = True
+    if args.list_plugins:
+        _print_plugin_listing()
         listed = True
     return listed
 
@@ -259,13 +320,22 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     older_than = args.older_than
     if args.max_age_hours is not None:
         older_than = args.max_age_hours * 3600.0
+    from ..methods.resources import HessianStore
+
     cache = ResultCache(args.cache_dir)
     removed = cache.clean(older_than=older_than)
-    print(f"removed {removed} cached results from {cache.root}")
+    # The Hessian blob tier lives beside the records, under the same policy;
+    # the layout is HessianStore's business, not ours.
+    blobs = HessianStore.clean_disk(cache.root / "hessians", older_than=older_than)
+    print(f"removed {removed} cached results from {cache.root}"
+          + (f" and {blobs} hessian blobs" if blobs else ""))
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from ..plugins import load_plugins
+
+    load_plugins()  # plugin methods/substrates become first-class axis values
     args = build_parser().parse_args(argv)
     if args.command == "sweep":
         return _cmd_sweep(args)

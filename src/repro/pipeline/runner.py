@@ -17,12 +17,14 @@ serial, thread, and process sweeps bit-identical.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..methods.resources import HESSIAN_DIR_ENV
 from .cache import ResultCache
 from .executor import JobOutcome, make_executor
 from .progress import ProgressTracker, default_stream
@@ -185,6 +187,18 @@ def run_sweep(
         sweep = SweepSpec.from_specs(sweep)
     jobs = sweep.jobs()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if cache is not None:
+        # Point the process-wide Hessian store's disk tier next to the result
+        # cache — through the environment, so process-pool workers spawned
+        # below inherit it and share Hessian work across processes and runs.
+        # Deliberately left set after the sweep: later jobs of the same
+        # session keep hitting the shared tier.
+        os.environ[HESSIAN_DIR_ENV] = str(cache.root / "hessians")
+    else:
+        # No result cache ⇒ no disk tier either: a stale export from an
+        # earlier sweep would silently resurrect that sweep's (possibly
+        # deleted) cache directory with orphaned blobs.
+        os.environ.pop(HESSIAN_DIR_ENV, None)
     tracker = ProgressTracker(total=len(jobs), stream=default_stream(progress))
 
     outcomes: Dict[str, JobOutcome] = {}

@@ -58,18 +58,21 @@ def _uses_corpus_shape(substrate: str) -> bool:
     except KeyError:
         return True
 
-# Methods whose group size is the MicroScopiQ macro-block (a config field);
-# everything else takes a plain ``group_size=`` keyword except GOBO, whose
-# bucketing is global and has no group knob.
-_CONFIG_METHODS = ("microscopiq", "omni-microscopiq")
-_NO_GROUP_KW = ("gobo", FP_METHOD)
-
-
 def known_methods() -> List[str]:
     """Registry methods plus the full-precision reference."""
-    from ..baselines.registry import QUANTIZERS
+    from ..methods import known_method_names
 
-    return [FP_METHOD] + sorted(QUANTIZERS)
+    return [FP_METHOD] + known_method_names()
+
+
+def _method_spec(method: str):
+    """The registered :class:`~repro.methods.MethodSpec`, or ``None`` for
+    the full-precision reference."""
+    if method == FP_METHOD:
+        return None
+    from ..methods import get_method
+
+    return get_method(method)
 
 
 def _canonical(obj: Any) -> Any:
@@ -135,6 +138,17 @@ class ExperimentSpec:
                 f"unknown calibration mode {self.calibration!r}; known: "
                 f"{', '.join(CALIBRATION_MODES)}"
             )
+        # Method-capability validation at spec-build time: an unknown method,
+        # a parameter outside the method's schema, or an unsupported
+        # method × substrate pair must surface here — before any job is
+        # enumerated, hashed, or dispatched — not as a kernel crash later.
+        spec = _method_spec(self.method)  # raises KeyError on unknown method
+        if spec is not None:
+            spec.validate_params(dict(self.quant_kwargs))
+            from ..core.substrate import SUBSTRATES
+
+            if self.substrate in SUBSTRATES:  # unknown names fail at build
+                spec.check_substrate(self.substrate)
 
     def key(self) -> Dict[str, Any]:
         """Canonical identity dict — everything that defines the result.
@@ -226,6 +240,8 @@ def describe(spec: ExperimentSpec) -> str:
         if spec.calibration != "sequential":
             parts.append(f"calib={spec.calibration}")
     for k, v in spec.eval_kwargs:
+        if isinstance(v, (tuple, list)):
+            v = "+".join(str(x) for x in v)
         parts.append(f"{k}={v}")
     if (spec.eval_sequences, spec.eval_seq_len) != (32, 32) and _uses_corpus_shape(
         spec.substrate
@@ -236,23 +252,14 @@ def describe(spec: ExperimentSpec) -> str:
     return f"{prefix}{spec.family}/{spec.method} {setting}{extra}{kwargs}"
 
 
-def _config_field_names() -> set:
-    from dataclasses import fields
-
-    from ..quant.config import MicroScopiQConfig
-
-    return {f.name for f in fields(MicroScopiQConfig)}
-
-
 def _group_kwargs(method: str, group_size: Optional[int]) -> Dict[str, Any]:
-    """How ``method`` consumes a group size (config field, kw, or not at all)."""
-    if group_size is None:
+    """How ``method`` consumes a group size: the keyword its spec declares
+    as ``group_param`` (MicroScopiQ's macro-block vs. the baselines'
+    ``group_size``), or nothing for methods with no group knob."""
+    spec = _method_spec(method)
+    if group_size is None or spec is None or spec.group_param is None:
         return {}
-    if method in _CONFIG_METHODS:
-        return {"macro_block": int(group_size)}
-    if method in _NO_GROUP_KW:
-        return {}
-    return {"group_size": int(group_size)}
+    return {spec.group_param: int(group_size)}
 
 
 @dataclass(frozen=True)
@@ -316,6 +323,21 @@ class SweepSpec:
                 raise KeyError(
                     f"unknown method {m!r}; known: {', '.join(sorted(valid))}"
                 )
+        if self.quant_kwargs:
+            # Sweep-level kwargs route only to the methods whose schema
+            # accepts them (like group_sizes maps onto each method's group
+            # knob) — but a key no swept method accepts is a typo, not a
+            # no-op, and must fail the build.
+            schemas = []
+            for m in self.methods:
+                m_spec = _method_spec(m)
+                schemas.append(set(m_spec.param_schema()) if m_spec is not None else set())
+            for key, _ in self.quant_kwargs:
+                if not any(key in schema for schema in schemas):
+                    raise KeyError(
+                        f"quant_kwargs key {key!r} is not a parameter of any "
+                        f"swept method ({', '.join(self.methods)})"
+                    )
         for c in self.calibrations:
             if c not in CALIBRATION_MODES:
                 raise KeyError(
@@ -339,21 +361,20 @@ class SweepSpec:
             self.act_bits, self.group_sizes, self.outlier_formats,
             self.calibrations,
         )
-        config_fields = _config_field_names() if self.quant_kwargs else set()
         for sub, fam, method, wb, ab, gs, ofmt, cal in grid:
             if fam not in sub_families[sub]:
                 continue
-            kw = dict(self.quant_kwargs)
+            spec_obj = _method_spec(method)
+            if spec_obj is not None and not spec_obj.supports_substrate(sub):
+                continue  # like unbuildable families: skip invalid pairs
             if method == FP_METHOD:
-                kw = {}  # the FP reference ignores quantizer knobs entirely
-            elif method not in _CONFIG_METHODS:
-                # Sweep-level MicroScopiQConfig knobs only apply to the
-                # MicroScopiQ methods; other baselines would reject them, so
-                # the grid routes them per method, like group_sizes.
-                kw = {k: v for k, v in kw.items() if k not in config_fields}
-            kw.update(_group_kwargs(method, gs))
-            if ofmt is not None and method in _CONFIG_METHODS:
-                kw["outlier_format"] = ofmt
+                kw: Dict[str, Any] = {}  # the FP reference ignores quantizer knobs
+            else:
+                schema = spec_obj.param_schema()
+                kw = {k: v for k, v in self.quant_kwargs if k in schema}
+                kw.update(_group_kwargs(method, gs))
+                if ofmt is not None and "outlier_format" in schema:
+                    kw["outlier_format"] = ofmt
             spec = ExperimentSpec(
                 family=fam,
                 substrate=sub,

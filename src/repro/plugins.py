@@ -1,0 +1,162 @@
+"""Entry-point discovery of third-party methods and substrates.
+
+Two extension surfaces, mirroring the two registries:
+
+* the ``repro.methods`` entry-point group — each entry resolves to a
+  :class:`~repro.methods.MethodSpec` (or a callable returning one / an
+  iterable of them), registered into :data:`repro.methods.METHODS`;
+* the ``repro.substrates`` group — likewise for
+  :class:`~repro.core.substrate.SubstrateSpec` into
+  :data:`~repro.core.substrate.SUBSTRATES`.
+
+Beyond installed-distribution entry points, the ``REPRO_PLUGINS``
+environment variable names additional plugin objects as comma-separated
+``module`` / ``module:attr`` specs. The variable serves two audiences:
+development trees that aren't installed, and **worker processes** — a
+process-pool sweep re-imports ``repro`` per worker, and because the
+variable rides the environment, every worker rediscovers the same plugins
+without any pickled state.
+
+Loading is idempotent and lazy: :func:`repro.methods.get_method` and
+:func:`repro.core.substrate.get_substrate` call :func:`load_plugins` once on
+a registry miss, and the CLI loads eagerly at startup so plugin names work
+everywhere (axes, validation, listings). A plugin that fails to import or
+register never breaks the host — the failure is captured on its
+:class:`PluginRecord` (and shown by ``repro-sweep sweep --list-plugins``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from importlib import import_module, metadata
+from typing import Any, Iterable, List, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "METHOD_GROUP",
+    "SUBSTRATE_GROUP",
+    "PluginRecord",
+    "load_plugins",
+    "loaded_plugins",
+]
+
+METHOD_GROUP = "repro.methods"
+SUBSTRATE_GROUP = "repro.substrates"
+ENV_VAR = "REPRO_PLUGINS"
+
+_loaded: Optional[List["PluginRecord"]] = None
+_loaded_env: Optional[str] = None
+
+
+@dataclass
+class PluginRecord:
+    """One discovered plugin object and what became of it."""
+
+    source: str  # "entry-point:<dist>" or "env:<spec>"
+    name: str  # entry-point / spec name
+    kinds: List[str] = field(default_factory=list)  # what it registered
+    registered: List[str] = field(default_factory=list)  # registry keys
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _register_object(obj: Any, record: PluginRecord) -> None:
+    """Register one resolved plugin object (spec, callable, or iterable)."""
+    from .core.substrate import SubstrateSpec, register_substrate
+    from .methods import MethodSpec, register_method
+
+    if callable(obj) and not isinstance(obj, (MethodSpec, SubstrateSpec)):
+        obj = obj()
+    if obj is None:
+        return
+    if isinstance(obj, (MethodSpec, SubstrateSpec)):
+        items: Iterable[Any] = (obj,)
+    elif isinstance(obj, Iterable):
+        items = list(obj)
+    else:
+        raise TypeError(
+            f"plugin object must be a MethodSpec, SubstrateSpec, a callable "
+            f"returning them, or an iterable of them; got {type(obj).__name__}"
+        )
+    for item in items:
+        if isinstance(item, MethodSpec):
+            if item.source == "builtin":  # stamp where the spec came from
+                item = replace(item, source=record.source)
+            register_method(item)
+            record.kinds.append("method")
+            record.registered.append(item.name)
+        elif isinstance(item, SubstrateSpec):
+            register_substrate(item)
+            record.kinds.append("substrate")
+            record.registered.append(item.name)
+        else:
+            raise TypeError(
+                f"plugin iterable contained {type(item).__name__}; expected "
+                "MethodSpec or SubstrateSpec"
+            )
+
+
+def _entry_points(group: str):
+    """The installed entry points of ``group`` (isolated for testability)."""
+    try:
+        return list(metadata.entry_points(group=group))
+    except TypeError:  # pragma: no cover - pre-3.10 importlib.metadata API
+        return list(metadata.entry_points().get(group, []))
+
+
+def _load_entry_points(records: List[PluginRecord]) -> None:
+    for group in (METHOD_GROUP, SUBSTRATE_GROUP):
+        for ep in _entry_points(group):
+            dist = getattr(getattr(ep, "dist", None), "name", "?")
+            record = PluginRecord(source=f"entry-point:{dist}", name=ep.name)
+            records.append(record)
+            try:
+                _register_object(ep.load(), record)
+            except Exception as exc:  # a broken plugin must not break the host
+                record.error = f"{type(exc).__name__}: {exc}"
+
+
+def _load_env_specs(records: List[PluginRecord]) -> None:
+    raw = os.environ.get(ENV_VAR, "")
+    for part in filter(None, (p.strip() for p in raw.split(","))):
+        record = PluginRecord(source=f"env:{part}", name=part)
+        records.append(record)
+        try:
+            mod_name, _, attr = part.partition(":")
+            module = import_module(mod_name)
+            obj = getattr(module, attr) if attr else getattr(module, "repro_plugin", None)
+            if obj is None and not attr:
+                raise AttributeError(
+                    f"module {mod_name!r} defines no 'repro_plugin' object; "
+                    "use the 'module:attr' form to name one"
+                )
+            _register_object(obj, record)
+        except Exception as exc:
+            record.error = f"{type(exc).__name__}: {exc}"
+
+
+def load_plugins(force: bool = False) -> List[PluginRecord]:
+    """Discover and register all plugins; idempotent unless ``force``.
+
+    A change to ``REPRO_PLUGINS`` between calls also triggers a reload
+    (tests and subprocess harnesses mutate the variable at runtime).
+    Returns the discovery records, including failed ones.
+    """
+    global _loaded, _loaded_env
+    env = os.environ.get(ENV_VAR, "")
+    if _loaded is not None and not force and env == _loaded_env:
+        return _loaded
+    records: List[PluginRecord] = []
+    _load_entry_points(records)
+    _load_env_specs(records)
+    _loaded, _loaded_env = records, env
+    return records
+
+
+def loaded_plugins() -> List[PluginRecord]:
+    """The records of the last discovery (loading first if never run)."""
+    return load_plugins()

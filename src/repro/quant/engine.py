@@ -1,8 +1,9 @@
 """Model-level quantization engine: Hessian store + grouped layer dispatch.
 
 :func:`quantize_model` schedules whole-model PTQ over any model implementing
-the :class:`~repro.core.substrate.Substrate` protocol. It improves on the
-naive per-layer walk in three ways:
+the :class:`~repro.core.substrate.Substrate` protocol, driving any method
+registered in the :mod:`repro.methods` registry through its class-based
+lifecycle. It improves on the naive per-layer walk in three ways:
 
 * **One calibration pass per group.** Layers whose calibration inputs are
   invariant to each other's overrides (``wq``/``wk``/``wv`` read the same
@@ -12,18 +13,25 @@ naive per-layer walk in three ways:
   (asserted in ``tests/test_substrates.py``).
 
 * **Hessian store.** ``H = 2 X Xᵀ + λI`` depends only on the calibration
-  activations and the damping — not on bits or method knobs — so the engine
-  computes each distinct (activations, λ) Hessian once into a
-  content-fingerprinted :class:`HessianStore` and hands it to the
-  Hessian-aware quantizers (``gptq``, ``microscopiq``, ``omni-microscopiq``).
-  Layers sharing a group share activations and therefore one Hessian, and in
-  ``parallel`` calibration mode every *setting* of a sweep over the same
-  calibration shares the whole store.
+  activations and the damping — not on bits or method knobs — so methods
+  whose spec declares ``needs_hessian`` receive a lazy
+  :class:`~repro.methods.resources.HessianBundle` resolved through their
+  ``prepare`` step from a content-fingerprinted
+  :class:`~repro.methods.resources.HessianStore`. Layers sharing a group
+  share activations and therefore one bundle; the bundle's inverse/Cholesky
+  factors compute once per calibration rather than once per setting, and
+  the store's optional disk tier extends the sharing to worker *processes*.
 
 * **Executor dispatch.** Group members are independent, so they are
   dispatched through the :mod:`repro.pipeline.executor` interface
   (``dispatch="thread"``) and installed back in forward order — scheduling
   never changes results.
+
+Per-method knowledge lives on the :class:`~repro.methods.MethodSpec`
+(capability flags + parameter schema), not here: unknown quantizer keywords
+are rejected up front with the method's schema in the error, and a method
+declaring ``supported_substrates`` refuses incompatible models before any
+layer is touched.
 
 The ``calibration`` knob is the paper's sequential-vs-parallel calibration
 ablation: ``"sequential"`` (default) calibrates each group on the
@@ -35,20 +43,22 @@ cost on later layers.
 
 from __future__ import annotations
 
-import hashlib
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-from ..baselines.registry import get_quantizer
+from ..methods import LayerContext, MethodSpec, get_method
+from ..methods.resources import (
+    HessianBundle,
+    HessianStore,
+    default_hessian_store,
+)
 from .activation import ActivationQuantizer
-from .hessian import layer_hessian
 
 __all__ = [
     "CALIBRATION_MODES",
+    "HessianBundle",
     "HessianStore",
     "QuantizationReport",
     "default_hessian_store",
@@ -56,14 +66,6 @@ __all__ = [
 ]
 
 CALIBRATION_MODES = ("sequential", "parallel")
-
-# Methods whose signature accepts act_bits (they manage their own migration).
-_ACT_AWARE = {"smoothquant", "omniquant", "atom", "microscopiq", "omni-microscopiq"}
-
-# Methods that accept a precomputed hessian= keyword. The MicroScopiQ-family
-# adapters only use it on the weight-only path (activation migration rescales
-# the calibration inputs per α, invalidating a precomputed Hessian).
-_HESSIAN_AWARE = {"gptq", "microscopiq", "omni-microscopiq"}
 
 
 @dataclass
@@ -82,83 +84,6 @@ class QuantizationReport:
         return float(np.mean(vals)) if vals else 0.0
 
 
-class HessianStore:
-    """Content-fingerprinted, LRU-bounded memo of per-layer Hessians.
-
-    Keys are a SHA-256 over the raw calibration activations plus the damping
-    ratio, so the store is safe to share across layers, settings, and whole
-    sweeps: identical activations → identical Hessian, regardless of which
-    (method × bits) setting asked for it. ``hits``/``misses`` counters back
-    the perf guard in ``tests/test_engine.py``. Thread-safe with in-flight
-    coalescing: when thread dispatch submits a whole calibration group at
-    once (wq/wk/wv asking for the same Hessian concurrently), the first
-    caller computes and the co-members wait for its result instead of each
-    running their own ``X^T X`` build.
-    """
-
-    def __init__(self, max_entries: int = 64):
-        self.max_entries = int(max_entries)
-        self._data: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        self._cond = threading.Condition()
-        self._in_flight: set = set()
-        self.hits = 0
-        self.misses = 0
-
-    @staticmethod
-    def fingerprint(acts: np.ndarray, damp_ratio: float) -> str:
-        h = hashlib.sha256()
-        h.update(np.ascontiguousarray(acts).tobytes())
-        h.update(repr((acts.shape, acts.dtype.str, float(damp_ratio))).encode())
-        return h.hexdigest()
-
-    def hessian(self, acts: np.ndarray, damp_ratio: float) -> np.ndarray:
-        """The (cached) damped layer Hessian of ``acts``."""
-        key = self.fingerprint(acts, damp_ratio)
-        with self._cond:
-            while True:
-                if key in self._data:
-                    self.hits += 1
-                    self._data.move_to_end(key)
-                    return self._data[key]
-                if key not in self._in_flight:
-                    self._in_flight.add(key)
-                    self.misses += 1
-                    break
-                self._cond.wait()  # another thread is computing this key
-        try:
-            value = layer_hessian(acts, damp_ratio)
-        except BaseException:
-            with self._cond:
-                # Waiters wake, find the key absent, and take over.
-                self._in_flight.discard(key)
-                self._cond.notify_all()
-            raise
-        with self._cond:
-            self._in_flight.discard(key)
-            self._data[key] = value
-            while len(self._data) > self.max_entries:
-                self._data.popitem(last=False)
-            self._cond.notify_all()
-        return value
-
-    def clear(self) -> None:
-        with self._cond:
-            self._data.clear()
-            self.hits = 0
-            self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-
-_DEFAULT_STORE = HessianStore()
-
-
-def default_hessian_store() -> HessianStore:
-    """The process-wide store shared by all in-process jobs of a sweep."""
-    return _DEFAULT_STORE
-
-
 @dataclass
 class _LayerTask:
     """One dispatchable unit: quantize a single named layer."""
@@ -172,29 +97,38 @@ class _LayerTask:
         return self.name
 
 
-def _hessian_damp(method: str, kwargs: Dict[str, Any]) -> float:
-    """The damping λ the method would use internally for its Hessian."""
-    if method == "gptq":
-        return float(kwargs.get("damp_ratio", 0.01))
-    config = kwargs.get("config")
-    return float(config.damp_ratio) if config is not None else 0.01
-
-
-def _make_layer_kernel(quantizer, method, w_bits, act_bits, base_kwargs, store):
-    """Bind a per-layer quantize function for executor dispatch."""
+def _make_layer_kernel(
+    spec: MethodSpec,
+    w_bits: int,
+    act_bits: Optional[int],
+    base_params: Dict[str, Any],
+    store: Optional[HessianStore],
+    substrate: Optional[str],
+):
+    """Bind a per-layer lifecycle driver for executor dispatch."""
+    quantizer = spec.make()
+    # Methods that don't accept act_bits still get their activations
+    # fake-quantized by the install loop — the old engine's contract.
+    eff_act = act_bits if spec.act_aware else None
 
     def kernel(task: _LayerTask):
-        kwargs = dict(base_kwargs)
-        if act_bits is not None and method in _ACT_AWARE:
-            kwargs["act_bits"] = act_bits
-        if store is not None and method in _HESSIAN_AWARE:
-            # Skip the migration path (see _HESSIAN_AWARE): a precomputed
-            # Hessian only matches the unscaled inputs.
-            if method == "gptq" or act_bits is None:
-                kwargs["hessian"] = store.hessian(
-                    task.acts, _hessian_damp(method, kwargs)
-                )
-        return quantizer(task.weights, task.acts, bits=w_bits, **kwargs)
+        call = dict(base_params)
+        call["bits"] = w_bits
+        if eff_act is not None:
+            call["act_bits"] = eff_act
+        ctx = LayerContext(
+            name=task.name,
+            weights=task.weights,
+            calib_inputs=task.acts,
+            w_bits=w_bits,
+            act_bits=eff_act,
+            params=call,
+            hessian_store=store,
+            substrate=substrate,
+            spec=spec,
+        )
+        resources = quantizer.prepare(ctx)
+        return quantizer.quantize_layer(task.weights, resources, **call)
 
     return kernel
 
@@ -211,7 +145,7 @@ def _make_dispatcher(dispatch: str, workers: Optional[int]):
 
 def quantize_model(
     model,
-    method: str,
+    method: Union[str, MethodSpec],
     w_bits: int,
     act_bits: Optional[int] = None,
     calib=None,
@@ -225,10 +159,16 @@ def quantize_model(
     """Quantize every linear of ``model`` in place (via overrides).
 
     ``model`` is anything implementing the
-    :class:`~repro.core.substrate.Substrate` protocol. Re-entrant: clears any
-    previous overrides first. ``calib`` defaults to the owning substrate's
-    standard calibration inputs; unregistered duck-typed models must pass
-    their own.
+    :class:`~repro.core.substrate.Substrate` protocol; ``method`` is a
+    registry name (or a :class:`~repro.methods.MethodSpec` directly).
+    Re-entrant: clears any previous overrides first. ``calib`` defaults to
+    the owning substrate's standard calibration inputs; unregistered
+    duck-typed models must pass their own.
+
+    ``quantizer_kwargs`` are validated against the method's parameter schema
+    before any work happens — an unknown keyword raises
+    :class:`~repro.methods.MethodParamError` naming the schema instead of
+    crashing (or silently vanishing) inside the kernel.
 
     Args:
         calibration: ``"sequential"`` collects activations group by group on
@@ -238,7 +178,8 @@ def quantize_model(
         dispatch: ``"serial"`` or ``"thread"`` — how group members are
             dispatched. Bit-identical either way.
         workers: thread-pool width for ``dispatch="thread"``.
-        hessian_store: Hessian memo; defaults to the process-wide store.
+        hessian_store: Hessian memo; defaults to the process-wide store
+            (whose disk tier attaches from ``REPRO_HESSIAN_DIR``).
         groups: calibration groups override; defaults to the substrate
             registry's grouping (singletons for unregistered models).
     """
@@ -249,16 +190,20 @@ def quantize_model(
         )
     from ..core.substrate import calibration_groups, substrate_for_model
 
+    spec = method if isinstance(method, MethodSpec) else get_method(method)
+    spec.validate_params(quantizer_kwargs)
+
     model.clear_overrides()
-    quantizer = get_quantizer(method)
+    sub = substrate_for_model(model)
+    if sub is not None:
+        spec.check_substrate(sub.name)
     if calib is None:
-        spec = substrate_for_model(model)
-        if spec is None:
+        if sub is None:
             raise ValueError(
                 f"{type(model).__name__} is not a registered substrate and has "
                 "no default calibration set; pass calib="
             )
-        calib = spec.calibration(model)
+        calib = sub.calibration(model)
     if groups is None:
         groups = calibration_groups(model)
     # The old per-layer walk quantized every linear unconditionally; the
@@ -272,12 +217,13 @@ def quantize_model(
             "calibration groups must partition model.linear_names exactly; "
             f"got {flat} vs {list(model.linear_names)}"
         )
-    store = hessian_store if hessian_store is not None else _DEFAULT_STORE
+    store = hessian_store if hessian_store is not None else default_hessian_store()
     pool = _make_dispatcher(dispatch, workers)
     kernel = _make_layer_kernel(
-        quantizer, method, w_bits, act_bits, quantizer_kwargs, store
+        spec, w_bits, act_bits, quantizer_kwargs, store,
+        sub.name if sub is not None else None,
     )
-    report = QuantizationReport(method, w_bits, act_bits)
+    report = QuantizationReport(spec.name, w_bits, act_bits)
 
     if calibration == "parallel":
         # One FP calibration pass, all layers in one stage: maximal reuse,

@@ -29,8 +29,8 @@ import numpy as np
 from ..formats.fp import FPFormat
 from ..formats.mx import outlier_format_for_bits, quantize_mx_fp_group
 from ..formats.scalar import int_max, pow2_scale_exponent
+from ..methods.resources import HessianBundle
 from .config import MicroScopiQConfig
-from .hessian import cholesky_inverse_factor, inverse_hessian, layer_hessian
 from .kernel import BlockQuantKernel
 from .packed import PackedLayer
 
@@ -225,14 +225,17 @@ def quantize_matrix(
     weights: np.ndarray,
     calib_inputs: np.ndarray | None = None,
     config: MicroScopiQConfig | None = None,
-    hessian: np.ndarray | None = None,
+    hessian: np.ndarray | HessianBundle | None = None,
 ) -> PackedLayer:
     """Quantize a ``[d_out, d_in]`` weight matrix with MicroScopiQ.
 
-    ``calib_inputs [n, d_in]`` (or a precomputed ``hessian`` — e.g. from the
-    :class:`~repro.quant.engine.HessianStore`) enables the Hessian saliency
-    and GPTQ error compensation; without either, saliency falls back to
-    weight magnitude and no compensation is applied.
+    ``calib_inputs [n, d_in]`` (or a precomputed ``hessian`` — a raw ``H``
+    or a :class:`~repro.methods.resources.HessianBundle` from the engine's
+    :class:`~repro.methods.resources.HessianStore`) enables the Hessian
+    saliency and GPTQ error compensation; without either, saliency falls
+    back to weight magnitude and no compensation is applied. A shared bundle
+    makes its ``H⁻¹``/Cholesky factors compute once per calibration instead
+    of once per (bits, knob) setting.
     """
     config = config or MicroScopiQConfig()
     w = np.array(weights, dtype=np.float64)
@@ -242,12 +245,16 @@ def quantize_matrix(
     bm, bu = config.macro_block, config.micro_block
     imax = int_max(config.inlier_bits)
 
-    if hessian is None and calib_inputs is not None:
-        hessian = layer_hessian(calib_inputs, config.damp_ratio)
-    have_h = hessian is not None
+    if hessian is not None:
+        bundle = HessianBundle.wrap(hessian)
+    elif calib_inputs is not None:
+        bundle = HessianBundle(calib_inputs, config.damp_ratio)
+    else:
+        bundle = None
+    have_h = bundle is not None
     if have_h:
-        hinv_diag = np.diag(inverse_hessian(hessian)).copy()
-        u_factor = cholesky_inverse_factor(hessian) if config.compensate else None
+        hinv_diag = bundle.hinv_diag
+        u_factor = bundle.u_factor if config.compensate else None
     else:
         hinv_diag = np.ones(d_in)
         u_factor = None
@@ -271,7 +278,7 @@ def quantize_matrix(
         omask = kernel.separate(block)
 
         if config.lwc and have_h:
-            col_w = np.diag(hessian)[m_lo:m_hi][None, :]
+            col_w = bundle.h_diag[m_lo:m_hi][None, :]
         else:
             col_w = np.ones((1, m_hi - m_lo))
         isf = _fit_inlier_scale(block, omask, imax, col_w)

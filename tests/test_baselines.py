@@ -1,23 +1,29 @@
-"""Tests for the baseline quantizers and the cross-method orderings the
-paper's tables rely on."""
+"""Tests for the quantization methods and the cross-method orderings the
+paper's tables rely on.
+
+Every method runs through the first-class :mod:`repro.methods` lifecycle
+(``MethodSpec.quantize`` → ``prepare`` → ``quantize_layer``); the legacy
+``QUANTIZERS`` dict is exercised once, as the deprecated shim it now is.
+"""
 
 import numpy as np
 import pytest
 
-from repro.baselines import QUANTIZERS, get_quantizer
+from repro.baselines import get_quantizer
+from repro.methods import METHODS, get_method, known_method_names
 from repro.quant.outliers import outlier_mask
 
-ALL_METHODS = sorted(QUANTIZERS)
+ALL_METHODS = known_method_names()
 
 
 @pytest.fixture(scope="module")
 def results_w4(weights, calib):
-    return {m: QUANTIZERS[m](weights, calib, bits=4) for m in ALL_METHODS}
+    return {m: METHODS[m].quantize(weights, calib, bits=4) for m in ALL_METHODS}
 
 
 @pytest.fixture(scope="module")
 def results_w2(weights, calib):
-    return {m: QUANTIZERS[m](weights, calib, bits=2) for m in ALL_METHODS}
+    return {m: METHODS[m].quantize(weights, calib, bits=2) for m in ALL_METHODS}
 
 
 class TestCommonContract:
@@ -40,8 +46,8 @@ class TestCommonContract:
 
     @pytest.mark.parametrize("method", ALL_METHODS)
     def test_deterministic(self, weights, calib, method):
-        a = QUANTIZERS[method](weights, calib, bits=4).dequant
-        b = QUANTIZERS[method](weights, calib, bits=4).dequant
+        a = METHODS[method].quantize(weights, calib, bits=4).dequant
+        b = METHODS[method].quantize(weights, calib, bits=4).dequant
         assert np.array_equal(a, b)
 
     @pytest.mark.parametrize("method", ALL_METHODS)
@@ -52,12 +58,25 @@ class TestCommonContract:
 
     @pytest.mark.parametrize("method", ALL_METHODS)
     def test_no_calibration_fallback(self, weights, method):
-        res = QUANTIZERS[method](weights, None, bits=4)
+        res = METHODS[method].quantize(weights, None, bits=4)
         assert np.all(np.isfinite(res.dequant))
 
     def test_registry_rejects_unknown(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError, match="unknown"):
             get_quantizer("nope")
+        with pytest.raises(KeyError, match="unknown method"):
+            get_method("nope")
+
+    def test_legacy_quantizers_dict_warns(self, weights):
+        from repro.baselines.registry import QUANTIZERS
+
+        assert sorted(QUANTIZERS) == ALL_METHODS  # iteration stays silent
+        with pytest.warns(DeprecationWarning, match="repro.methods"):
+            fn = QUANTIZERS["rtn"]
+        res = fn(weights, None, bits=4)
+        assert np.array_equal(
+            res.dequant, METHODS["rtn"].quantize(weights, None, bits=4).dequant
+        )
 
 
 class TestOrderings:
@@ -116,7 +135,7 @@ class TestOrderings:
 
 class TestOlive:
     def test_victims_are_zeroed(self, weights, calib):
-        res = QUANTIZERS["olive"](weights, calib, bits=4)
+        res = METHODS["olive"].quantize(weights, calib, bits=4)
         # every outlier has an adjacent zero (the identifier/victim)
         omask = np.zeros(weights.shape, dtype=bool)
         for g in range(0, weights.shape[1], 128):
@@ -138,7 +157,7 @@ class TestOlive:
         rng = np.random.default_rng(0)
         w = rng.normal(0, 0.02, (8, 128))
         w[0, 10], w[0, 11] = 0.5, -0.6
-        res = QUANTIZERS["olive"](w, None, bits=4)
+        res = METHODS["olive"].quantize(w, None, bits=4)
         assert res.meta["victim_outliers"] >= 1
         assert res.dequant[0, 11] == 0.0 or res.dequant[0, 10] == 0.0
 
@@ -146,7 +165,7 @@ class TestOlive:
         rng = np.random.default_rng(1)
         w = rng.normal(0, 0.02, (4, 128))
         w[1, 50] = 0.73
-        res = QUANTIZERS["olive"](w, None, bits=4)
+        res = METHODS["olive"].quantize(w, None, bits=4)
         v = abs(res.dequant[1, 50])
         assert v > 0
         assert np.isclose(np.log2(v), round(np.log2(v)))
@@ -154,12 +173,12 @@ class TestOlive:
 
 class TestGobo:
     def test_outliers_stored_exactly(self, weights):
-        res = QUANTIZERS["gobo"](weights, None, bits=4)
+        res = METHODS["gobo"].quantize(weights, None, bits=4)
         omask = outlier_mask(weights, 3.0, axis=None)
         assert np.array_equal(res.dequant[omask], weights[omask])
 
     def test_inliers_use_centroids(self, weights):
-        res = QUANTIZERS["gobo"](weights, None, bits=4)
+        res = METHODS["gobo"].quantize(weights, None, bits=4)
         omask = outlier_mask(weights, 3.0, axis=None)
         uniq = np.unique(res.dequant[~omask])
         assert len(uniq) <= 16
@@ -167,34 +186,34 @@ class TestGobo:
 
 class TestSdq:
     def test_nm_pattern_respected(self, weights):
-        res = QUANTIZERS["sdq"](weights, None, bits=2)
+        res = METHODS["sdq"].quantize(weights, None, bits=2)
         assert res.meta["pattern"] == "2:8"
 
     def test_ebw_accounts_for_sparse(self, weights):
-        res = QUANTIZERS["sdq"](weights, None, bits=2)
+        res = METHODS["sdq"].quantize(weights, None, bits=2)
         assert res.ebw > 2.0
 
 
 class TestAtom:
     def test_high_activation_channels_protected(self, weights, calib):
-        res = QUANTIZERS["atom"](weights, calib, bits=4)
+        res = METHODS["atom"].quantize(weights, calib, bits=4)
         assert res.meta["n_outlier_channels"] == 16
         assert res.ebw > 4.0
 
     def test_act_quantizer_attached_in_wa_mode(self, weights, calib):
-        res = QUANTIZERS["atom"](weights, calib, bits=4, act_bits=8)
+        res = METHODS["atom"].quantize(weights, calib, bits=4, act_bits=8)
         assert "act_quantizer" in res.meta
 
 
 class TestSmoothQuant:
     def test_act_quantizer_present(self, weights, calib):
-        res = QUANTIZERS["smoothquant"](weights, calib, bits=4)
+        res = METHODS["smoothquant"].quantize(weights, calib, bits=4)
         assert "act_quantizer" in res.meta
 
     def test_deployed_numerics_identity(self, weights, calib):
         """dequant (original space) + rescaling act quantizer reproduce
         Q_act(x/s) @ Q_w(W·s)^T exactly."""
-        res = QUANTIZERS["smoothquant"](weights, calib, bits=8)
+        res = METHODS["smoothquant"].quantize(weights, calib, bits=8)
         s = res.meta["scales"]
         aq = res.meta["act_quantizer"]
         lhs = aq(calib) @ res.dequant.T
@@ -206,7 +225,7 @@ class TestSmoothQuant:
 
 class TestAwqOmniquant:
     def test_awq_alpha_selected(self, weights, calib):
-        res = QUANTIZERS["awq"](weights, calib, bits=4)
+        res = METHODS["awq"].quantize(weights, calib, bits=4)
         assert 0.0 <= res.meta["alpha"] <= 1.0
 
     def test_awq_no_worse_than_rtn(self, results_w4, weights, calib):
@@ -220,6 +239,6 @@ class TestAwqOmniquant:
         )
 
     def test_omniquant_wa_mode_returns_act_quantizer(self, weights, calib):
-        res = QUANTIZERS["omniquant"](weights, calib, bits=4, act_bits=8)
+        res = METHODS["omniquant"].quantize(weights, calib, bits=4, act_bits=8)
         assert "act_quantizer" in res.meta
         assert res.meta["mode"] == "weight-activation"

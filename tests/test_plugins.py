@@ -1,0 +1,227 @@
+"""The plugin loader: third-party MethodSpecs and SubstrateSpecs discovered
+from entry points / REPRO_PLUGINS and runnable end to end through the CLI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import textwrap
+
+import pytest
+
+import repro.plugins as plugins
+from repro.core.substrate import SUBSTRATES
+from repro.methods import METHODS
+
+_COUNTER = itertools.count()
+
+# A complete toy plugin: one method implementing the Quantizer protocol from
+# scratch (no BaselineAdapter) and one substrate with a 2-linear model.
+_PLUGIN_SOURCE = """
+import numpy as np
+
+from repro.baselines.base import BaselineResult
+from repro.core.substrate import SubstrateSpec
+from repro.methods import LayerResources, MethodSpec, Param
+
+
+class StepQuantizer:
+    def prepare(self, ctx):
+        return LayerResources(calib_inputs=ctx.calib_inputs)
+
+    def quantize_layer(self, weights, resources, *, bits=4, step=0.5, **_):
+        w = np.asarray(weights, dtype=np.float64)
+        dq = np.round(w / step) * step
+        return BaselineResult("toy-step", dq, float(bits), {"step": step})
+
+
+TOY_METHOD = MethodSpec(
+    name="toy-step",
+    summary="fixed-step rounding (plugin test double)",
+    make=StepQuantizer,
+    params=(Param("step", 0.5, (float, int), "rounding step"),),
+    group_param=None,
+)
+
+
+class ToyModel:
+    def __init__(self):
+        rng = np.random.default_rng(7)
+        self.weights = {
+            "a": rng.normal(0, 1, (4, 8)),
+            "b": rng.normal(0, 1, (4, 8)),
+        }
+        self.overrides = {}
+        self.act_quant = {}
+        self.linear_names = ["a", "b"]
+
+    def collect_calibration(self, calib):
+        return {name: calib for name in self.linear_names}
+
+    def set_override(self, name, weight):
+        self.overrides[name] = weight
+
+    def clear_overrides(self):
+        self.overrides.clear()
+        self.act_quant.clear()
+
+    def effective(self, name):
+        return self.overrides.get(name, self.weights[name])
+
+
+def _evaluate(model, eval_sequences, eval_seq_len, rng, **_):
+    ref = ToyModel()
+    err = sum(
+        float(np.linalg.norm(model.effective(n) - ref.weights[n]))
+        for n in model.linear_names
+    )
+    return {"fidelity": 100.0 - err}
+
+
+TOY_SUBSTRATE = SubstrateSpec(
+    name="toy",
+    paper_scope="(plugin test double)",
+    metric="fidelity",
+    higher_is_better=True,
+    families=lambda: ("toy-1",),
+    build=lambda family: ToyModel(),
+    calibration=lambda model: np.random.default_rng(3).normal(0, 1, (16, 8)),
+    groups=lambda model: [["a"], ["b"]],
+    evaluate=_evaluate,
+    owns=lambda model: isinstance(model, ToyModel),
+    uses_corpus_shape=False,
+)
+
+PLUGIN = [TOY_METHOD, TOY_SUBSTRATE]
+"""
+
+
+@pytest.fixture
+def toy_plugin(tmp_path, monkeypatch):
+    """Write the toy plugin module, point REPRO_PLUGINS at it, and clean the
+    registries back up afterwards."""
+    mod_name = f"toy_repro_plugin_{next(_COUNTER)}"
+    (tmp_path / f"{mod_name}.py").write_text(textwrap.dedent(_PLUGIN_SOURCE))
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setenv(plugins.ENV_VAR, f"{mod_name}:PLUGIN")
+    yield mod_name
+    METHODS.pop("toy-step", None)
+    SUBSTRATES.pop("toy", None)
+    plugins._loaded = None
+    plugins._loaded_env = None
+
+
+def test_env_plugin_registers_method_and_substrate(toy_plugin):
+    records = plugins.load_plugins(force=True)
+    (rec,) = [r for r in records if toy_plugin in r.name]
+    assert rec.ok, rec.error
+    assert sorted(zip(rec.kinds, rec.registered)) == [
+        ("method", "toy-step"), ("substrate", "toy"),
+    ]
+    assert METHODS["toy-step"].source == rec.source
+    assert "toy" in SUBSTRATES
+
+
+def test_registry_miss_triggers_plugin_load(toy_plugin):
+    """get_method / get_substrate resolve plugin names lazily — the path
+    worker processes take, since only the env var crosses the fork."""
+    from repro.core.substrate import get_substrate
+    from repro.methods import get_method
+
+    assert "toy-step" not in dict.keys(METHODS)  # not loaded yet
+    assert get_method("toy-step").summary.startswith("fixed-step")
+    assert get_substrate("toy").metric == "fidelity"
+
+
+def test_broken_plugin_is_reported_not_fatal(tmp_path, monkeypatch):
+    mod_name = f"broken_repro_plugin_{next(_COUNTER)}"
+    (tmp_path / f"{mod_name}.py").write_text("raise RuntimeError('boom')\n")
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setenv(plugins.ENV_VAR, f"{mod_name}:PLUGIN")
+    records = plugins.load_plugins(force=True)
+    (rec,) = [r for r in records if mod_name in r.name]
+    assert not rec.ok and "boom" in rec.error
+    plugins._loaded = None
+    plugins._loaded_env = None
+
+
+def test_entry_point_discovery(monkeypatch, toy_plugin):
+    """The importlib.metadata path: a fake installed distribution exposing
+    the same plugin object through the repro.methods group."""
+    import importlib
+
+    module = importlib.import_module(toy_plugin)
+
+    class FakeEntryPoint:
+        name = "toy"
+        dist = type("Dist", (), {"name": "toy-dist"})()
+
+        @staticmethod
+        def load():
+            return module.TOY_METHOD
+
+    monkeypatch.delenv(plugins.ENV_VAR)
+    monkeypatch.setattr(
+        plugins, "_entry_points",
+        lambda group: [FakeEntryPoint] if group == plugins.METHOD_GROUP else [],
+    )
+    records = plugins.load_plugins(force=True)
+    (rec,) = records
+    assert rec.ok and rec.source == "entry-point:toy-dist"
+    assert METHODS["toy-step"].source == "entry-point:toy-dist"
+
+
+class TestCliEndToEnd:
+    def test_list_plugins_and_methods_show_the_plugin(self, toy_plugin, capsys):
+        from repro.pipeline.cli import main
+
+        assert main(["sweep", "--list-plugins"]) == 0
+        out = capsys.readouterr().out
+        assert "toy-step" in out and "toy" in out and "FAILED" not in out
+
+        assert main(["sweep", "--list-methods"]) == 0
+        out = capsys.readouterr().out
+        assert "toy-step" in out and f"env:{toy_plugin}:PLUGIN" in out
+
+        assert main(["sweep", "--list-substrates"]) == 0
+        assert "fidelity" in capsys.readouterr().out
+
+    def test_plugin_method_on_plugin_substrate_sweeps_through_cli(
+        self, toy_plugin, tmp_path, capsys
+    ):
+        """The whole chain: CLI startup loads the plugin, the sweep grid
+        validates and enumerates the toy method × toy substrate cell, the
+        kernel builds the toy model, quantizes it with the plugin quantizer,
+        and the pivot prints the plugin metric."""
+        from repro.pipeline.cli import main
+
+        argv = [
+            "sweep",
+            "--substrates", "toy",
+            "--families", "toy-1",
+            "--methods", "fp16", "toy-step",
+            "--w-bits", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--executor", "serial",
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2/2 jobs" in out and "0 failures" in out
+        assert "toy-1" in out and "toy-step W4A16" in out
+
+        # Cached replay, plus the capability validation path: an unknown
+        # param on the plugin method fails the build, before any job.
+        assert main(argv) == 0
+        assert "2 cache hits" in capsys.readouterr().out
+
+    def test_plugin_method_rejects_unknown_param_at_spec_build(self, toy_plugin):
+        from repro.methods import MethodParamError
+        from repro.pipeline import ExperimentSpec
+
+        plugins.load_plugins(force=True)
+        with pytest.raises(MethodParamError, match="step=0.5"):
+            ExperimentSpec(
+                family="toy-1", substrate="toy", method="toy-step",
+                quant_kwargs={"stride": 2},
+            )
