@@ -105,3 +105,31 @@ class PplCache:
 @pytest.fixture(scope="session")
 def ppl_cache(tmp_path_factory):
     return PplCache(cache_dir=str(tmp_path_factory.mktemp("repro-sweep-cache")))
+
+
+def run_hw_sweep(specs, cache_dir: str):
+    """Run hardware (``arch=``) specs through the pipeline cache, twice.
+
+    The second pass asserts the acceptance property of the `repro.hw` port:
+    an identical re-invocation is served entirely from the ResultCache — no
+    simulator runs at all. Returns the first run's SweepResult (index it
+    with the ExperimentSpecs to read each job's metrics).
+    """
+    result = run_sweep(SweepSpec.from_specs(specs), cache_dir=cache_dir)
+    for outcome in result.outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"hardware job {outcome.job.label!r} failed: "
+                f"{outcome.error['type']}: {outcome.error['message']}"
+            )
+    replay = run_sweep(SweepSpec.from_specs(specs), cache_dir=cache_dir)
+    assert replay.cache_hits == len(replay.outcomes), (
+        "hardware sweep replay was not served entirely from cache"
+    )
+    return result
+
+
+@pytest.fixture(scope="session")
+def hw_cache(tmp_path_factory):
+    """Session cache directory shared by all hardware benchmarks."""
+    return str(tmp_path_factory.mktemp("repro-hw-cache"))

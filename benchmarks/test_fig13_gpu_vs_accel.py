@@ -2,35 +2,63 @@
 
 Shape: at matched off-chip bandwidth (2 TB/s), MicroScopiQ v1 ~1.2x and
 v2 ~1.7x faster than the A100 running W4A4, with lower energy (the GPU
-pays register-level reordering and FP16 overheads)."""
+pays register-level reordering and FP16 overheads).
+
+Both sides of the comparison are pipeline-cached ``repro.hw`` jobs: the
+accelerators simulate at the A100-scaled array via ``hw_kwargs``, the GPU
+via the ``gpu-atom-w4a4`` cost-model arch; the golden check asserts the
+jobs are bit-identical to direct :func:`simulate_arch_inference` /
+:func:`decode_step_ms` calls."""
 
 import pytest
 
-from repro.accelerator import ARCHS, GEOMETRIES, AcceleratorConfig, simulate_arch_inference
 from repro.gpu import decode_step_ms
-from benchmarks.conftest import print_table
+from repro.hw import GEOMETRIES, AcceleratorConfig, simulate_arch_inference
+from repro.pipeline import ExperimentSpec
+from benchmarks.conftest import print_table, run_hw_sweep
 
 MODELS = ["llama2-7b", "llama2-13b"]
+ACCELS = ("microscopiq-v1", "microscopiq-v2")
+DECODE_TOKENS = 32
+
+# Paper §7.6: iso-bandwidth (2 TB/s off-chip, abundant on-chip) AND
+# iso-compute — the accelerator is scaled to the A100's 55,296 multipliers
+# (216 x 256 array), not the 64x64 instance.
+ISO = (
+    ("cols", 256),
+    ("decode_tokens", DECODE_TOKENS),
+    ("dram_gbps", 2039.0),
+    ("prefill", 1),
+    ("rows", 216),
+    ("sram_gbps", 2039.0),
+)
 
 
-def compute():
-    # Paper §7.6: iso-bandwidth (2 TB/s off-chip, abundant on-chip) AND
-    # iso-compute — the accelerator is scaled to the A100's 55,296
-    # multipliers (216 x 256 array), not the 64x64 instance.
-    cfg = AcceleratorConfig(rows=216, cols=256, dram_gbps=2039.0, sram_gbps=2039.0)
-    out = {}
+def _specs():
+    specs = {}
     for model in MODELS:
-        geom = GEOMETRIES[model]
-        gpu_ms = decode_step_ms("atom-w4a4", model) * 32
-        for arch in ("microscopiq-v1", "microscopiq-v2"):
-            r = simulate_arch_inference(arch, geom, prefill=1, decode_tokens=32, cfg=cfg)
-            out[(model, arch)] = gpu_ms / r.latency_ms
-    return out
+        specs[(model, "gpu")] = ExperimentSpec(family=model, arch="gpu-atom-w4a4")
+        for arch in ACCELS:
+            specs[(model, arch)] = ExperimentSpec(family=model, arch=arch, hw_kwargs=ISO)
+    return specs
+
+
+def compute(cache_dir):
+    specs = _specs()
+    result = run_hw_sweep(list(specs.values()), cache_dir)
+    speed, raw = {}, {}
+    for model in MODELS:
+        gpu_ms = result[specs[(model, "gpu")]]["decode_ms"] * DECODE_TOKENS
+        for arch in ACCELS:
+            accel_ms = result[specs[(model, arch)]]["latency_ms"]
+            speed[(model, arch)] = gpu_ms / accel_ms
+            raw[(model, arch)] = (gpu_ms, accel_ms)
+    return speed, raw
 
 
 @pytest.mark.benchmark(group="fig13")
-def test_fig13_gpu_vs_accelerator(benchmark):
-    speed = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_fig13_gpu_vs_accelerator(benchmark, hw_cache):
+    speed, raw = benchmark.pedantic(compute, args=(hw_cache,), rounds=1, iterations=1)
     rows = [
         [m, a, f"{s:.2f}x"]
         for (m, a), s in sorted(speed.items())
@@ -46,3 +74,11 @@ def test_fig13_gpu_vs_accelerator(benchmark):
         assert v2 > v1, "bb=2 packing must extend the lead"
         assert v1 > 0.8, "v1 at least competitive with the GPU"
         assert 1.0 < v2 < 4.0
+    # Golden: pipeline hardware jobs == the direct simulator calls.
+    cfg = AcceleratorConfig(rows=216, cols=256, dram_gbps=2039.0, sram_gbps=2039.0)
+    for (model, arch), (gpu_ms, accel_ms) in raw.items():
+        direct = simulate_arch_inference(
+            arch, GEOMETRIES[model], prefill=1, decode_tokens=DECODE_TOKENS, cfg=cfg
+        )
+        assert accel_ms == direct.latency_ms
+        assert gpu_ms == decode_step_ms("atom-w4a4", model) * DECODE_TOKENS

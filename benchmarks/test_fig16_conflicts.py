@@ -1,31 +1,50 @@
 """Fig. 16(b): ReCoN access conflicts vs number of ReCoN units (64x64).
 
 Paper shape: <3% conflicts with a single shared unit, falling to ~0% by
-8 units."""
+8 units.
+
+The probe is a pipeline-cached ``repro.hw`` job on the synthetic ``gemm``
+workload substrate (one 4096-wide bb=2 layer at the densest evaluated
+outlier rate); the golden check asserts it matches the direct
+:func:`simulate_gemm` call bit-for-bit."""
 
 import pytest
 
-from repro.accelerator import AcceleratorConfig, LayerSpec, simulate_gemm
-from benchmarks.conftest import print_table
+from repro.hw import AcceleratorConfig, LayerSpec, simulate_gemm
+from repro.pipeline import ExperimentSpec
+from benchmarks.conftest import print_table, run_hw_sweep
 
 UNITS = (1, 2, 4, 8)
 
+# A square 4096-wide layer at bb=2 with a 1.2% outlier rate — the densest
+# ReCoN-demand configuration of the evaluated models.
+PROBE = dict(batch=1, bit_budget=2, outlier_fraction=0.012)
 
-def compute():
-    # A square 4096-wide layer at bb=2 with a 1.2% outlier rate — the
-    # densest ReCoN-demand configuration of the evaluated models.
-    spec = LayerSpec.synthetic("probe", 4096, 4096, bit_budget=2, outlier_fraction=0.012)
-    out = []
-    for n in UNITS:
-        cfg = AcceleratorConfig(n_recon=n)
-        stats = simulate_gemm(spec, 1, cfg)
-        out.append((n, stats.conflict_pct))
-    return out
+
+def _specs():
+    return {
+        n: ExperimentSpec(
+            family="4096x4096",
+            substrate="gemm",
+            arch="microscopiq-v2",
+            hw_kwargs=tuple(sorted(dict(PROBE, n_recon=n).items())),
+        )
+        for n in UNITS
+    }
+
+
+def compute(cache_dir):
+    specs = _specs()
+    result = run_hw_sweep(list(specs.values()), cache_dir)
+    return [
+        (n, result[spec]["native"]["batch"]["conflict_pct"])
+        for n, spec in specs.items()
+    ]
 
 
 @pytest.mark.benchmark(group="fig16")
-def test_fig16b_recon_conflicts(benchmark):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_fig16b_recon_conflicts(benchmark, hw_cache):
+    rows = benchmark.pedantic(compute, args=(hw_cache,), rounds=1, iterations=1)
     print_table(
         "Fig. 16(b) — ReCoN access conflicts, 64x64 array (paper: 2.8% -> 0%)",
         ["# ReCoN units", "conflict %"],
@@ -35,3 +54,8 @@ def test_fig16b_recon_conflicts(benchmark):
     assert by[1] < 15.0, "single-unit conflicts stay low (paper <3%)"
     assert by[1] >= by[2] >= by[4] >= by[8]
     assert by[8] == 0.0
+    # Golden: the gemm-workload pipeline job == the direct probe simulation.
+    spec = LayerSpec.synthetic("probe", 4096, 4096, bit_budget=2, outlier_fraction=0.012)
+    for n, conflict in rows:
+        direct = simulate_gemm(spec, 1, AcceleratorConfig(n_recon=n))
+        assert conflict == direct.conflict_pct

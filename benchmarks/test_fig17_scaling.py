@@ -3,39 +3,56 @@
 Paper shape: the single-ReCoN MicroScopiQ variant stays below OliVe's
 area at every scale; ReCoN's share of area shrinks as the array grows
 (3% at 128x128); the 8-ReCoN variant costs only ~11% extra at 128x128
-and is comparable to OliVe."""
+and is comparable to OliVe.
+
+Every (array size × design) point is a pipeline-cached ``repro.hw`` job
+(``hw_kwargs`` carries rows/cols/n_recon/buffer_kb); the golden check
+asserts the job areas equal the direct area-model calls bit-for-bit."""
 
 import pytest
 
-from repro.accelerator import microscopiq_area, olive_area, sram_area_mm2
-from benchmarks.conftest import print_table
+from repro.hw import microscopiq_area, olive_area, sram_area_mm2
+from repro.pipeline import ExperimentSpec
+from benchmarks.conftest import print_table, run_hw_sweep
 
 SCALES = [(8, 8, 64), (16, 16, 128), (64, 64, 512), (128, 128, 1024)]
 
 
-def compute():
+def _spec(arch: str, r: int, c: int, buf_kb: int, **knobs):
+    hw = dict(rows=r, cols=c, buffer_kb=buf_kb, prefill=1, decode_tokens=1, **knobs)
+    return ExperimentSpec(
+        family="llama3-8b", arch=arch, hw_kwargs=tuple(sorted(hw.items()))
+    )
+
+
+def compute(cache_dir):
+    grid = {}
+    for r, c, buf in SCALES:
+        grid[(r, c, "ms1")] = _spec("microscopiq-v2", r, c, buf, n_recon=1)
+        grid[(r, c, "ms8")] = _spec("microscopiq-v2", r, c, buf, n_recon=8)
+        grid[(r, c, "olive")] = _spec("olive", r, c, buf)
+    result = run_hw_sweep(list(grid.values()), cache_dir)
     rows = []
-    for r, c, buf_kb in SCALES:
-        sram = sram_area_mm2(buf_kb) + sram_area_mm2(2048)
-        ms1 = microscopiq_area(r, c, n_recon=1)
-        ms8 = microscopiq_area(r, c, n_recon=8)
-        ol = olive_area(r, c)
+    for r, c, buf in SCALES:
+        ms1 = result[grid[(r, c, "ms1")]]
+        ms8 = result[grid[(r, c, "ms8")]]
+        ol = result[grid[(r, c, "olive")]]
         rows.append(
             (
                 f"{r}x{c}",
-                ms1.total_mm2,
-                ms8.total_mm2,
-                ol.total_mm2,
-                ms1.by_name()["ReCoN"] / ms1.total_um2 * 100,
-                sram,
+                ms1["area_mm2"],
+                ms8["area_mm2"],
+                ol["area_mm2"],
+                ms1["area_components"]["ReCoN"] / ms1["area_um2"] * 100,
+                ms1["sram_mm2"],
             )
         )
     return rows
 
 
 @pytest.mark.benchmark(group="fig17")
-def test_fig17_area_scaling(benchmark):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_fig17_area_scaling(benchmark, hw_cache):
+    rows = benchmark.pedantic(compute, args=(hw_cache,), rounds=1, iterations=1)
     print_table(
         "Fig. 17 — compute area (mm²) across array sizes",
         ["array", "MS (1 ReCoN)", "MS (8 ReCoN)", "OliVe", "ReCoN % of compute", "SRAM mm²"],
@@ -50,3 +67,11 @@ def test_fig17_area_scaling(benchmark):
     for _, ms1, ms8, ol, _, _ in rows:
         assert ms1 < ol * 1.25, "1-ReCoN variant at or below OliVe-class area"
         assert ms8 / ms1 < 1.7, "8 units cost bounded extra compute area"
+    # Golden: the pipeline jobs reproduce the direct area models bit-for-bit.
+    for (r, c, buf), (_, m1, m8, ol, rp, sram) in zip(SCALES, rows):
+        ms1 = microscopiq_area(r, c, n_recon=1)
+        assert m1 == ms1.total_mm2
+        assert m8 == microscopiq_area(r, c, n_recon=8).total_mm2
+        assert ol == olive_area(r, c).total_mm2
+        assert rp == ms1.by_name()["ReCoN"] / ms1.total_um2 * 100
+        assert sram == sram_area_mm2(buf) + sram_area_mm2(2048)

@@ -3,11 +3,17 @@
 
 Paper shape: up to 8 units buys ~21% latency at 1.58x compute area on a
 mixed prefill+decode workload; integrating ReCoN into accelerators that
-already have NoCs costs only 3% / 2.3% compute area."""
+already have NoCs costs only 3% / 2.3% compute area.
+
+18(a) runs as pipeline-cached ``repro.hw`` jobs: the native pass of the
+LLaMA-3-8B workload (``native_cycles`` = prefill + decode_tokens × decode)
+at each ReCoN count, with the area read from the same job; the golden check
+asserts bit-identity with direct :func:`simulate_layers` calls. 18(b) is a
+pure model query on the NoC integration profiles."""
 
 import pytest
 
-from repro.accelerator import (
+from repro.hw import (
     AcceleratorConfig,
     GEOMETRIES,
     layer_specs,
@@ -15,41 +21,66 @@ from repro.accelerator import (
     noc_integration_overhead,
     simulate_layers,
 )
-from benchmarks.conftest import print_table
+from repro.pipeline import ExperimentSpec
+from benchmarks.conftest import print_table, run_hw_sweep
 
 UNITS = (1, 2, 4, 8)
+PREFILL, DECODE = 16, 32  # a short prefill burst plus decode steps — the
+# regime where extra ReCoN units pay off.
 
 
-def compute():
-    # Mixed workload: a short prefill burst plus decode steps — the regime
-    # where extra ReCoN units pay off.
-    specs = layer_specs(GEOMETRIES["llama3-8b"], bit_budget=2)
+def _specs():
+    return {
+        n: ExperimentSpec(
+            family="llama3-8b",
+            arch="microscopiq-v2",
+            hw_kwargs=(
+                ("bit_budget", 2),
+                ("decode_tokens", DECODE),
+                ("n_recon", n),
+                ("prefill", PREFILL),
+            ),
+        )
+        for n in UNITS
+    }
+
+
+def compute(cache_dir):
+    specs = _specs()
+    result = run_hw_sweep(list(specs.values()), cache_dir)
     out = []
-    for n in UNITS:
-        cfg = AcceleratorConfig(n_recon=n)
-        pre = simulate_layers(specs, 16, cfg)
-        dec = simulate_layers(specs, 1, cfg)
-        cycles = pre.cycles + 32 * dec.cycles
-        area = microscopiq_area(n_recon=n).total_mm2
-        out.append((n, cycles, area))
+    for n, spec in specs.items():
+        m = result[spec]
+        out.append((n, m["native_cycles"], m["area_mm2"], m["native"]))
     return out
 
 
 @pytest.mark.benchmark(group="fig18")
-def test_fig18a_recon_unit_tradeoff(benchmark):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_fig18a_recon_unit_tradeoff(benchmark, hw_cache):
+    rows = benchmark.pedantic(compute, args=(hw_cache,), rounds=1, iterations=1)
     base_c, base_a = rows[0][1], rows[0][2]
     print_table(
         "Fig. 18(a) — ReCoN units vs latency & compute area (normalized)",
         ["# units", "norm latency", "norm compute area"],
-        [[n, f"{c / base_c:.3f}", f"{a / base_a:.2f}"] for n, c, a in rows],
+        [[n, f"{c / base_c:.3f}", f"{a / base_a:.2f}"] for n, c, a, _ in rows],
     )
-    lats = [c for _, c, _ in rows]
-    areas = [a for _, _, a in rows]
+    lats = [c for _, c, _, _ in rows]
+    areas = [a for _, _, a, _ in rows]
     assert lats == sorted(lats, reverse=True), "latency monotone non-increasing"
     gain = 1.0 - lats[-1] / lats[0]
     assert 0.0 <= gain < 0.6, "bounded gain from 8 units (paper: 21%)"
     assert areas[-1] / areas[0] < 1.7, "8 units <= ~1.58x compute area (paper)"
+    # Golden: the pipeline-native pass == the seed's direct arithmetic
+    # (pre.cycles + 32 * dec.cycles on the native-EBW bb=2 layer specs).
+    specs = layer_specs(GEOMETRIES["llama3-8b"], bit_budget=2)
+    for n, cycles, area, native in rows:
+        cfg = AcceleratorConfig(n_recon=n)
+        pre = simulate_layers(specs, PREFILL, cfg)
+        dec = simulate_layers(specs, 1, cfg)
+        assert native["prefill"]["cycles"] == pre.cycles
+        assert native["decode"]["cycles"] == dec.cycles
+        assert cycles == pre.cycles + DECODE * dec.cycles
+        assert area == microscopiq_area(n_recon=n).total_mm2
 
 
 @pytest.mark.benchmark(group="fig18")

@@ -2,37 +2,40 @@
 
 Paper values: MicroScopiQ 0.012 mm² / 8.63% overhead / 367.5 TOPS/mm²;
 OliVe 0.011 / 9.90% / 184.3; GOBO 0.216 / 3.28% / 28.3.
+
+All three cells come from pipeline-cached ``repro.hw`` jobs (one per arch);
+the golden check asserts the registry-driven path is bit-identical to the
+direct area-model calls the seed used.
 """
 
 import pytest
 
-from repro.accelerator import (
-    compute_density_tops_mm2,
-    gobo_area,
-    microscopiq_area,
-    olive_area,
-)
-from benchmarks.conftest import print_table
+from repro.hw import compute_density_tops_mm2, get_arch, gobo_area, microscopiq_area, olive_area
+from repro.pipeline import ExperimentSpec
+from benchmarks.conftest import print_table, run_hw_sweep
+
+# (table row, registry arch) — v1/v2 share the MicroScopiQ area model.
+ROWS = (("microscopiq", "microscopiq-v2"), ("olive", "olive"), ("gobo", "gobo"))
+HW = (("decode_tokens", 1), ("prefill", 1))
 
 
-def compute():
-    ms, ol, gb = microscopiq_area(), olive_area(), gobo_area()
+def _specs():
     return {
-        "microscopiq": (
-            ms.total_mm2,
-            ms.overhead_pct(("Base PE",)),
-            compute_density_tops_mm2(ms, 64, 64, 2.0),  # bb=2 packing
-        ),
-        "olive": (
-            ol.total_mm2,
-            ol.overhead_pct(("Base PE",)),
-            compute_density_tops_mm2(ol, 64, 64, 0.5),  # PE pairing
-        ),
-        "gobo": (
-            gb.total_mm2,
-            gb.overhead_pct(("Group PE",)),
-            compute_density_tops_mm2(gb, 64, 64, 1.0),
-        ),
+        label: ExperimentSpec(family="llama2-7b", arch=arch, hw_kwargs=HW)
+        for label, arch in ROWS
+    }
+
+
+def compute(cache_dir):
+    specs = _specs()
+    result = run_hw_sweep(list(specs.values()), cache_dir)
+    return {
+        label: (
+            result[spec]["area_mm2"],
+            result[spec]["area_overhead_pct"],
+            result[spec]["density_tops_mm2"],
+        )
+        for label, spec in specs.items()
     }
 
 
@@ -44,8 +47,8 @@ PAPER = {
 
 
 @pytest.mark.benchmark(group="table5")
-def test_table5_area_density(benchmark):
-    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_table5_area_density(benchmark, hw_cache):
+    res = benchmark.pedantic(compute, args=(hw_cache,), rounds=1, iterations=1)
     rows = []
     for arch, (area, ovh, dens) in res.items():
         pa, po, pd = PAPER[arch]
@@ -66,3 +69,23 @@ def test_table5_area_density(benchmark):
     assert res["microscopiq"][2] / res["gobo"][2] > 10
     # MicroScopiQ's compute overhead below OliVe's.
     assert res["microscopiq"][1] < res["olive"][1]
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_pipeline_matches_direct_area_models(benchmark, hw_cache):
+    """Golden check: the registry/pipeline path reproduces the seed's direct
+    ``*_area()`` arithmetic bit-for-bit."""
+    res = benchmark.pedantic(compute, args=(hw_cache,), rounds=1, iterations=1)
+    direct = {
+        "microscopiq": (microscopiq_area(), ("Base PE",), 2.0),
+        "olive": (olive_area(), ("Base PE",), 0.5),
+        "gobo": (gobo_area(), ("Group PE",), 1.0),
+    }
+    for label, (breakdown, baseline, macs_per_pe) in direct.items():
+        area, ovh, dens = res[label]
+        assert area == breakdown.total_mm2
+        assert ovh == breakdown.overhead_pct(baseline)
+        assert dens == compute_density_tops_mm2(breakdown, 64, 64, macs_per_pe)
+    # The registry's declared packing factors are the Table 5 ones.
+    assert get_arch("microscopiq-v2").density_macs_per_pe == 2.0
+    assert get_arch("olive").density_macs_per_pe == 0.5

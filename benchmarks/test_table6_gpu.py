@@ -3,12 +3,19 @@
 Paper shape: no-optim slightly *below* FP16; optimized kernel ≈ Atom;
 modified tensor core (simulated) the fastest; LLaMA-3-8B's gains compressed
 relative to LLaMA-2-13B by its FP16 128K-vocab head.
+
+Every cell is a pipeline-cached ``repro.hw`` job on a ``gpu-*`` arch (the
+kernel cost models registered beside the systolic designs); the golden
+check asserts the jobs match :func:`repro.gpu.token_throughput` exactly.
 """
 
 import pytest
 
 from repro.gpu import GPU_METHODS, token_throughput
-from benchmarks.conftest import print_table
+from repro.pipeline import ExperimentSpec
+from benchmarks.conftest import print_table, run_hw_sweep
+
+MODELS = ("llama2-13b", "llama3-8b")
 
 PAPER = {
     "llama2-13b": {"atom-w4a4": 2.25, "ms-noopt": 0.98, "ms-optim": 2.06, "ms-mtc": 4.31},
@@ -16,17 +23,28 @@ PAPER = {
 }
 
 
-def compute():
+def _specs():
+    return {
+        (model, method): ExperimentSpec(family=model, arch=f"gpu-{method}")
+        for model in MODELS
+        for method in GPU_METHODS
+    }
+
+
+def compute(cache_dir):
+    specs = _specs()
+    result = run_hw_sweep(list(specs.values()), cache_dir)
+    raw = {k: result[spec]["tokens_per_s"] for k, spec in specs.items()}
     out = {}
-    for model in ("llama2-13b", "llama3-8b"):
-        base = token_throughput("trtllm-fp16", model)
-        out[model] = {m: token_throughput(m, model) / base for m in GPU_METHODS}
-    return out
+    for model in MODELS:
+        base = raw[(model, "trtllm-fp16")]
+        out[model] = {m: raw[(model, m)] / base for m in GPU_METHODS}
+    return out, raw
 
 
 @pytest.mark.benchmark(group="table6")
-def test_table6_gpu_throughput(benchmark):
-    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_table6_gpu_throughput(benchmark, hw_cache):
+    res, raw = benchmark.pedantic(compute, args=(hw_cache,), rounds=1, iterations=1)
     methods = [m for m in GPU_METHODS if m != "trtllm-fp16"]
     rows = []
     for model in res:
@@ -47,3 +65,6 @@ def test_table6_gpu_throughput(benchmark):
     # LLaMA-3's FP16 head compresses every method's gain.
     for m in ("atom-w4a4", "ms-optim", "ms-mtc"):
         assert res["llama3-8b"][m] < res["llama2-13b"][m]
+    # Golden: the pipeline jobs reproduce the cost model bit-for-bit.
+    for (model, method), tokens in raw.items():
+        assert tokens == token_throughput(method, model)

@@ -1,27 +1,37 @@
-"""Accelerator walkthrough + performance study.
+"""Accelerator walkthrough + performance study on the repro.hw API.
 
 Part 1 reproduces the paper's Fig. 8 end-to-end example functionally:
 an outlier's Upper/Lower halves flow through INT PEs and are recombined
 by ReCoN into the exact FP partial sum.
 
-Part 2 runs the cycle-level simulator: LLaMA-3-8B decode on the 64x64
-MicroScopiQ accelerator vs the baseline accelerators, plus the ReCoN
-design-variant sweep (Fig. 15/18).
+Part 2 runs the cycle-level simulator through the registry-driven API:
+LLaMA-3-8B decode on the 64x64 MicroScopiQ accelerator vs the baseline
+accelerators — one `simulate(arch, workload)` call per design.
+
+Part 3 sweeps the ReCoN design variants (Fig. 15/18) and shows the
+per-substrate workload generators (CNN im2col GEMM, SSM scan).
+
+Part 4 runs the same comparison as cached pipeline jobs — the form the
+benchmarks use (`repro-sweep sweep --archs ...` from the CLI).
 
 Run:  python examples/accelerator_simulation.py
 """
 
-from repro.accelerator import (
+import tempfile
+
+from repro.hw import (
     ARCHS,
-    GEOMETRIES,
     AcceleratorConfig,
+    GEOMETRIES,
     OutlierHalfProduct,
     ReCoN,
+    build_workload,
     layer_specs,
     microscopiq_area,
-    simulate_arch_inference,
+    simulate,
     simulate_layers,
 )
+from repro.pipeline import ExperimentSpec, run_sweep
 
 # --- Part 1: the Fig. 8 example ------------------------------------------
 print("Fig. 8 walkthrough: outlier 1.5 (binary 1.10), iAct=32, iAcc=8")
@@ -33,23 +43,22 @@ out = ReCoN(4).route(ports)
 print(f"  ReCoN output: {out}  (expected outlier partial sum 56) \n")
 assert out[0] == 56.0
 
-# --- Part 2: performance comparison --------------------------------------
-geom = GEOMETRIES["llama3-8b"]
-print(f"Decode inference, {geom.name} geometry, 64x64 array @ 1 GHz:")
-results = {
-    arch: simulate_arch_inference(arch, geom, prefill=1, decode_tokens=32)
-    for arch in ARCHS
-}
+# --- Part 2: performance comparison via the registry ----------------------
+workload = build_workload("lm", "llama3-8b", prefill=1, decode_tokens=32)
+print(f"Decode inference, {workload.name} geometry, 64x64 array @ 1 GHz:")
+systolic = [name for name, spec in ARCHS.items() if spec.kind == "systolic"]
+results = {name: simulate(name, workload) for name in systolic}
 v2 = results["microscopiq-v2"]
-for arch, r in sorted(results.items(), key=lambda kv: kv[1].cycles):
+for name, r in sorted(results.items(), key=lambda kv: kv[1].cycles):
     print(
-        f"  {arch:16s} latency={r.latency_ms:9.1f} ms  "
+        f"  {name:16s} latency={r.latency_ms:9.1f} ms  "
         f"energy={r.energy.total_nj / 1e6:8.1f} mJ  "
-        f"(x{r.cycles / v2.cycles:.2f} vs v2)"
+        f"ebw={r.ebw_bits:5.2f} b/w  (x{r.cycles / v2.cycles:.2f} vs v2)"
     )
 
+# --- Part 3: design variants + per-substrate workloads --------------------
 print("\nReCoN design variants (Fig. 15/18): units vs conflicts & area")
-specs = layer_specs(geom, bit_budget=2)
+specs = layer_specs(GEOMETRIES["llama3-8b"], bit_budget=2)
 for n in (1, 2, 4, 8):
     stats = simulate_layers(specs, 1, AcceleratorConfig(n_recon=n))
     area = microscopiq_area(n_recon=n).total_mm2
@@ -57,3 +66,27 @@ for n in (1, 2, 4, 8):
         f"  {n} ReCoN: conflicts={stats.conflict_pct:5.2f}%  "
         f"compute area={area:.4f} mm^2"
     )
+
+print("\nPer-substrate workloads on microscopiq-v2 (same simulate() call):")
+for sub, family in (("cnn", "resnet50"), ("ssm", "vmamba-s"), ("vlm", "vila-7b")):
+    r = simulate("microscopiq-v2", build_workload(sub, family, prefill=1, decode_tokens=1))
+    print(f"  {sub:4s} {family:10s} cycles={r.cycles:12.0f}  "
+          f"energy={r.energy.total_nj / 1e3:10.1f} uJ")
+
+# --- Part 4: the same points as cached pipeline jobs ----------------------
+print("\nPipeline-native hardware sweep (content-hashed, cached jobs):")
+hw_specs = [
+    ExperimentSpec(family="llama3-8b", arch=arch,
+                   hw_kwargs=(("decode_tokens", 32), ("prefill", 1)))
+    for arch in ("microscopiq-v1", "microscopiq-v2", "olive")
+]
+with tempfile.TemporaryDirectory() as cache_dir:
+    first = run_sweep(hw_specs, cache_dir=cache_dir)
+    replay = run_sweep(hw_specs, cache_dir=cache_dir)
+for outcome in first.outcomes:
+    m = outcome.metrics
+    print(f"  {outcome.job.label:60s} latency={m['latency_ms']:9.1f} ms")
+print(f"  replay served from cache: {replay.cache_hits}/{len(replay.outcomes)}")
+assert replay.cache_hits == len(replay.outcomes)
+for spec, outcome in zip(hw_specs, first.outcomes):
+    assert outcome.metrics["latency_ms"] == results[spec.arch].latency_ms

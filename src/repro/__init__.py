@@ -14,8 +14,11 @@ Subpackages:
                    OliVe, GOBO + the Omni-MicroScopiQ combination
     models       — synthetic FM substrates (transformer LM, VLM, CNN, SSM)
     eval         — corpora, perplexity, zero-shot tasks, PTQ harness
-    accelerator  — multi-precision PE + ReCoN functional models, the
-                   cycle-level performance/area/energy simulator
+    hw           — the registry-driven accelerator simulation API:
+                   HwArchSpec registry, per-substrate hardware workloads,
+                   the simulate() entry point, and the functional PE/ReCoN
+                   + cycle-level performance/area/energy models
+    accelerator  — DEPRECATED shim over repro.hw
     gpu          — A100 kernel cost model and tensor-core variants
     core         — the high-level public API
     pipeline     — parallel experiment orchestration: declarative sweeps,
@@ -30,6 +33,7 @@ from . import (
     eval,
     formats,
     gpu,
+    hw,
     methods,
     models,
     pipeline,
@@ -45,7 +49,7 @@ from .core import (
 )
 from .methods import MethodSpec, get_method, register_method
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MethodSpec",
@@ -59,6 +63,7 @@ __all__ = [
     "formats",
     "get_method",
     "gpu",
+    "hw",
     "methods",
     "models",
     "pipeline",

@@ -1,31 +1,47 @@
-"""MicroScopiQ accelerator: functional PE/ReCoN models + performance sim."""
+"""DEPRECATED: :mod:`repro.accelerator` moved to :mod:`repro.hw`.
 
-from .archs import ARCHS, ArchSpec, InferenceResult, simulate_arch_inference
-from .area import (
-    AreaBreakdown,
-    AreaComponent,
-    compute_density_tops_mm2,
-    gobo_area,
-    microscopiq_area,
-    noc_integration_overhead,
-    olive_area,
-    sram_area_mm2,
-    total_accelerator_area,
+This package is a compatibility shim. Every name it used to export now
+lives in :mod:`repro.hw` (the registry-driven accelerator simulation API);
+attribute access re-exports from there with a :class:`DeprecationWarning`.
+Submodule imports (``repro.accelerator.workloads`` …) keep working via
+``sys.modules`` aliases to the moved :mod:`repro.hw` modules.
+
+One legacy quirk is preserved deliberately: ``repro.accelerator.ARCHS`` is
+the seed-era *systolic-only* view of the arch registry. The full registry —
+including the GPU kernel-cost-model entries — is :data:`repro.hw.ARCHS`.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+from .. import hw as _hw
+from ..hw import (
+    archs as _archs_mod,
+    area as _area_mod,
+    config as _config_mod,
+    energy as _energy_mod,
+    mapping as _mapping_mod,
+    noc as _noc_mod,
+    pe as _pe_mod,
+    systolic as _systolic_mod,
+    workloads as _workloads_mod,
 )
-from .config import AcceleratorConfig
-from .energy import EnergyParams, EnergyReport, energy_of
-from .mapping import LayerSpec
-from .noc import ReCoN, ReconTrace, merge_halves
-from .pe import (
-    MODE_2B,
-    MODE_4B,
-    MultiPrecisionPE,
-    OutlierHalfProduct,
-    pe_multiply_2b,
-    pe_multiply_4b,
-)
-from .systolic import GemmStats, recon_contention, simulate_gemm, simulate_layers
-from .workloads import GEOMETRIES, ModelGeometry, layer_specs
+
+# `from repro.accelerator.<sub> import X` resolves to the moved module.
+for _name, _mod in (
+    ("archs", _archs_mod),
+    ("area", _area_mod),
+    ("config", _config_mod),
+    ("energy", _energy_mod),
+    ("mapping", _mapping_mod),
+    ("noc", _noc_mod),
+    ("pe", _pe_mod),
+    ("systolic", _systolic_mod),
+    ("workloads", _workloads_mod),
+):
+    sys.modules.setdefault(f"{__name__}.{_name}", _mod)
 
 __all__ = [
     "ARCHS",
@@ -63,3 +79,26 @@ __all__ = [
     "sram_area_mm2",
     "total_accelerator_area",
 ]
+
+
+def __getattr__(name: str):
+    if name == "ARCHS":
+        warnings.warn(
+            "repro.accelerator.ARCHS is deprecated; use repro.hw.ARCHS "
+            "(this legacy view lists only the systolic designs)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {k: v for k, v in _hw.ARCHS.items() if v.kind == "systolic"}
+    if name in __all__ or hasattr(_hw, name):
+        warnings.warn(
+            f"repro.accelerator is deprecated; import {name} from repro.hw",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_hw, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

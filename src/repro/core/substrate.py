@@ -107,6 +107,10 @@ class SubstrateSpec:
             actually shape this substrate's evaluation (True for the LM
             corpora; False for the fixed per-family bundles), so the
             pipeline can normalize ignored fields out of job identities.
+        version: optional spec version hashed into pipeline job identities,
+            so cached results invalidate when a plugin substrate's numerics
+            change (builtins ride ``repro.__version__`` and leave this
+            ``None`` — omitting it keeps job hashes stable).
     """
 
     name: str
@@ -120,6 +124,7 @@ class SubstrateSpec:
     evaluate: Callable[..., Dict[str, Any]]
     owns: Callable[[Any], bool]
     uses_corpus_shape: bool = True
+    version: Optional[str] = None
 
 
 SUBSTRATES: Dict[str, SubstrateSpec] = {}

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..accelerator.workloads import GEOMETRIES, ModelGeometry
+from ..hw.workloads import GEOMETRIES, ModelGeometry
 
 __all__ = ["GpuSpec", "A100", "decode_step_ms", "token_throughput", "GPU_METHODS"]
 

@@ -1,0 +1,156 @@
+"""repro.hw — the registry-driven accelerator simulation API.
+
+Mirrors the :mod:`repro.methods` pattern on the hardware side of the paper:
+
+* :mod:`~repro.hw.archs` — the declarative :class:`HwArchSpec` registry
+  (:data:`ARCHS`, :func:`register_arch` / :func:`get_arch`): each design
+  carries its iso-accuracy precision mix, PE/NoC parameters, an ``area()``
+  builder, and a typed :class:`~repro.methods.spec.Param` schema, so arch
+  knobs validate at spec-build time exactly like method kwargs; GPU kernel
+  cost models register beside the systolic designs (``kind="gpu"``);
+* :mod:`~repro.hw.workloads` — the :class:`HwWorkload` protocol with
+  per-substrate generators (transformer prefill+decode, CNN im2col GEMM,
+  SSM scan + projection, synthetic GEMM probes) keyed off the substrate
+  registry;
+* :mod:`~repro.hw.sim` — the single :func:`simulate` entry point returning
+  a :class:`SimReport` (latency / energy / area / EBW / ReCoN contention in
+  one dataclass) and :func:`run_hw_job`, the pipeline kernel that makes
+  hardware points cacheable and sweepable like accuracy points;
+* the functional and cycle-level component models the seed built:
+  multi-precision PEs (:mod:`~repro.hw.pe`), the ReCoN NoC
+  (:mod:`~repro.hw.noc`), the systolic performance model
+  (:mod:`~repro.hw.systolic`), and the 7 nm area/energy models
+  (:mod:`~repro.hw.area`, :mod:`~repro.hw.energy`).
+
+:mod:`repro.accelerator` remains as a deprecated shim over this package.
+"""
+
+from . import archs, area, config, energy, mapping, noc, pe, systolic, workloads
+from ..methods.spec import Param
+from .archs import (
+    ARCHS,
+    ArchSpec,
+    HwArchSpec,
+    HwParamError,
+    InferenceResult,
+    get_arch,
+    known_arch_names,
+    register_arch,
+    simulate_arch_inference,
+)
+from .area import (
+    AreaBreakdown,
+    AreaComponent,
+    compute_density_tops_mm2,
+    gobo_area,
+    microscopiq_area,
+    noc_integration_overhead,
+    olive_area,
+    sram_area_mm2,
+    total_accelerator_area,
+)
+from .config import AcceleratorConfig
+from .energy import EnergyParams, EnergyReport, energy_of
+from .mapping import LayerSpec
+from .noc import ReCoN, ReconTrace, merge_halves
+from .pe import (
+    MODE_2B,
+    MODE_4B,
+    MultiPrecisionPE,
+    OutlierHalfProduct,
+    pe_multiply_2b,
+    pe_multiply_4b,
+)
+from .sim import SIM_PARAMS, NativePhase, SimReport, check_hw_kwargs, run_hw_job, simulate
+from .systolic import GemmStats, recon_contention, simulate_gemm, simulate_layers
+from .workloads import (
+    GEOMETRIES,
+    HW_WORKLOADS,
+    CnnWorkload,
+    GemmWorkload,
+    HwWorkload,
+    LayerWork,
+    ModelGeometry,
+    SsmWorkload,
+    Stream,
+    TransformerWorkload,
+    WorkloadFactory,
+    build_workload,
+    can_build_workload,
+    layer_specs,
+    register_workload,
+    workload_families,
+    workload_substrates,
+)
+
+__all__ = [
+    "ARCHS",
+    "GEOMETRIES",
+    "HW_WORKLOADS",
+    "MODE_2B",
+    "MODE_4B",
+    "SIM_PARAMS",
+    "AcceleratorConfig",
+    "ArchSpec",
+    "AreaBreakdown",
+    "AreaComponent",
+    "CnnWorkload",
+    "EnergyParams",
+    "EnergyReport",
+    "GemmStats",
+    "GemmWorkload",
+    "HwArchSpec",
+    "HwParamError",
+    "HwWorkload",
+    "InferenceResult",
+    "LayerSpec",
+    "LayerWork",
+    "ModelGeometry",
+    "MultiPrecisionPE",
+    "NativePhase",
+    "OutlierHalfProduct",
+    "Param",
+    "ReCoN",
+    "ReconTrace",
+    "SimReport",
+    "SsmWorkload",
+    "Stream",
+    "TransformerWorkload",
+    "WorkloadFactory",
+    "archs",
+    "area",
+    "build_workload",
+    "can_build_workload",
+    "check_hw_kwargs",
+    "compute_density_tops_mm2",
+    "config",
+    "energy",
+    "energy_of",
+    "get_arch",
+    "gobo_area",
+    "known_arch_names",
+    "layer_specs",
+    "mapping",
+    "merge_halves",
+    "microscopiq_area",
+    "noc",
+    "noc_integration_overhead",
+    "olive_area",
+    "pe",
+    "pe_multiply_2b",
+    "pe_multiply_4b",
+    "recon_contention",
+    "register_arch",
+    "register_workload",
+    "run_hw_job",
+    "simulate",
+    "simulate_arch_inference",
+    "simulate_gemm",
+    "simulate_layers",
+    "sram_area_mm2",
+    "systolic",
+    "total_accelerator_area",
+    "workload_families",
+    "workload_substrates",
+    "workloads",
+]

@@ -1,0 +1,407 @@
+"""Declarative accelerator architecture specs and their registry.
+
+A :class:`HwArchSpec` carries everything the simulator, the pipeline, and
+the CLI previously hard-coded per design — mirroring the
+:class:`~repro.methods.MethodSpec` pattern on the hardware side:
+
+* the **iso-accuracy execution profile** (precision mix, per-tier packing
+  and EBW, MAC precision, decode/alignment penalties — Fig. 12's §7.5
+  matched-accuracy comparison);
+* an **area builder** replacing the per-design ``*_area()`` free-function
+  call soup: ``spec.area(rows=..., cols=..., **knobs)`` returns the
+  component :class:`~repro.hw.area.AreaBreakdown`, with the design-specific
+  knobs (``n_recon``) validated against a typed
+  :class:`~repro.methods.spec.Param` schema exactly like method kwargs;
+* **capability metadata** the pipeline consults at spec-build time: which
+  substrates the design can execute, the compute-density packing factor
+  (Table 5), the overhead baseline components, and an optional plugin
+  ``version`` hashed into job identities.
+
+Two kinds share the registry: ``"systolic"`` designs run the cycle-level
+array model (:func:`repro.hw.sim.simulate`); ``"gpu"`` entries wrap the
+:mod:`repro.gpu` kernel cost model so GPU baselines (Table 6, Fig. 13) are
+sweepable on the same axes. Third-party designs register through
+:func:`register_arch` or the ``repro.hw`` entry-point group discovered by
+:mod:`repro.plugins`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..methods.spec import MethodParamError, Param
+from .area import AreaBreakdown, gobo_area, microscopiq_area, olive_area
+from .config import AcceleratorConfig
+from .energy import EnergyReport
+from .systolic import GemmStats
+from .workloads import ModelGeometry
+
+__all__ = [
+    "ARCHS",
+    "ArchSpec",
+    "HwArchSpec",
+    "HwParamError",
+    "InferenceResult",
+    "get_arch",
+    "known_arch_names",
+    "register_arch",
+    "simulate_arch_inference",
+]
+
+
+class HwParamError(ValueError):
+    """An unknown or invalid accelerator parameter, caught at spec-build time."""
+
+
+def _fixed_area(name: str, mm2: float) -> Callable[..., AreaBreakdown]:
+    """Builder for designs the paper reports only an aggregate area for."""
+
+    def build(rows: int = 64, cols: int = 64) -> AreaBreakdown:
+        from .area import AreaComponent
+
+        scale = (rows * cols) / (64.0 * 64.0)
+        return AreaBreakdown(name, [AreaComponent("PE array", mm2 * 1e6 * scale, 1)])
+
+    return build
+
+
+@dataclass(frozen=True)
+class HwArchSpec:
+    """One registered accelerator design: execution profile, area, schema.
+
+    Attributes:
+        name: registry key (``"microscopiq-v2"``, ``"olive"``, …).
+        summary: one-line description for the CLI listing.
+        precision_mix: ``(bit_budget, fraction_of_layers)`` pairs — the
+            iso-accuracy precision assignment of §7.5.
+        mac_bits: the PE MAC operand precision (keys the energy table).
+        pack_by_bits: ``bit_budget → weights per PE`` throughput factor.
+        ebw_by_bits: ``bit_budget → stored bits per weight`` incl. metadata.
+        uses_recon: whether outlier μBs detour through ReCoN (non-ReCoN
+            designs simulate with outlier traffic stripped).
+        unaligned_penalty: DRAM multiplier for unaligned sparse accesses.
+        decode_pj_per_mac: per-MAC format-decoder energy (OliVe's abfloat).
+        area_builder: ``(rows, cols, **knobs) → AreaBreakdown``; the knobs
+            are this spec's :attr:`params` schema.
+        params: design-specific knobs (validated like method kwargs; e.g.
+            MicroScopiQ's ``n_recon``). The simulator forwards them to the
+            area builder, and ``n_recon`` additionally configures the
+            performance model's ReCoN count. Simulation-wide knobs live in
+            :data:`repro.hw.sim.SIM_PARAMS`.
+        area_baseline: component names forming the "plain PE array" baseline
+            of the Table 5 overhead percentage.
+        density_macs_per_pe: effective MACs/PE/cycle for the Table 5
+            compute-density figure (2.0 for bb=2 packing, 0.5 for OliVe's
+            PE pairing).
+        kind: ``"systolic"`` (cycle-level array model) or ``"gpu"``
+            (:mod:`repro.gpu` kernel cost model).
+        gpu_method: for ``kind="gpu"``: the :data:`repro.gpu.GPU_METHODS`
+            kernel this entry wraps.
+        supported_substrates: workload classes the design can execute;
+            ``None`` means every registered hardware workload.
+        version: optional plugin version hashed into pipeline job
+            identities, so cache entries invalidate when a third-party
+            spec's numerics change.
+        source: ``"builtin"`` or the plugin distribution name.
+    """
+
+    name: str
+    summary: str
+    precision_mix: Tuple[Tuple[int, float], ...] = ((4, 1.0),)
+    mac_bits: int = 4
+    pack_by_bits: Dict[int, float] = field(default_factory=dict)
+    ebw_by_bits: Dict[int, float] = field(default_factory=dict)
+    uses_recon: bool = False
+    unaligned_penalty: float = 1.0
+    decode_pj_per_mac: float = 0.0
+    area_builder: Optional[Callable[..., AreaBreakdown]] = None
+    params: Tuple[Param, ...] = ()
+    area_baseline: Tuple[str, ...] = ("Base PE",)
+    density_macs_per_pe: float = 1.0
+    kind: str = "systolic"
+    gpu_method: Optional[str] = None
+    supported_substrates: Optional[Tuple[str, ...]] = None
+    version: Optional[str] = None
+    source: str = "builtin"
+
+    # ------------------------------------------------------------ the schema
+    def param_schema(self) -> Dict[str, Param]:
+        return {p.name: p for p in self.params}
+
+    def describe_schema(self) -> str:
+        return ", ".join(p.describe() for p in self.params) or "(no arch parameters)"
+
+    def validate_params(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Check arch knobs against the schema; returns them unchanged.
+
+        Unknown names and type/choice violations raise :class:`HwParamError`
+        listing the full schema — the fail-fast twin of
+        :meth:`~repro.methods.MethodSpec.validate_params`, run at pipeline
+        spec-build time before any job is hashed or dispatched.
+        """
+        schema = self.param_schema()
+        unknown = sorted(set(params) - set(schema))
+        if unknown:
+            raise HwParamError(
+                f"arch {self.name!r} got unknown parameter(s) "
+                f"{', '.join(repr(u) for u in unknown)}; its schema is: "
+                f"{self.describe_schema()}"
+            )
+        for key, value in params.items():
+            try:
+                schema[key].check(value, self.name)
+            except MethodParamError as exc:
+                raise HwParamError(f"arch {exc}") from None
+        return params
+
+    def defaults(self) -> Dict[str, Any]:
+        return {p.name: p.default for p in self.params}
+
+    # --------------------------------------------------------- compatibility
+    def supports_substrate(self, substrate: str) -> bool:
+        return (
+            self.supported_substrates is None
+            or substrate in self.supported_substrates
+        )
+
+    def check_substrate(self, substrate: str) -> None:
+        if not self.supports_substrate(substrate):
+            known = ", ".join(self.supported_substrates or ())
+            raise HwParamError(
+                f"arch {self.name!r} does not support substrate "
+                f"{substrate!r}; supported: {known or 'none declared'}"
+            )
+
+    # ----------------------------------------------------------------- area
+    def area(self, rows: int = 64, cols: int = 64, **knobs) -> AreaBreakdown:
+        """The component area breakdown of one instance.
+
+        ``knobs`` are this design's schema parameters (``n_recon`` for the
+        ReCoN variants); unknown knobs fail with the schema in the error.
+        """
+        if self.area_builder is None:
+            raise HwParamError(f"arch {self.name!r} declares no area model")
+        self.validate_params(knobs)
+        call = {k: v for k, v in self.defaults().items() if v is not None}
+        call.update(knobs)
+        return self.area_builder(rows, cols, **call)
+
+    @property
+    def area_mm2(self) -> float:
+        """Default-instance compute area (the energy model's leakage area)."""
+        return self.area(64, 64).total_mm2
+
+    def ebw_bits(self) -> float:
+        """Precision-mix-weighted stored bits per weight."""
+        return sum(frac * self.ebw_by_bits[bits] for bits, frac in self.precision_mix)
+
+    # ------------------------------------------------------------ reporting
+    def capabilities(self) -> Dict[str, Any]:
+        """Flat capability dict for the CLI table and plugin listings."""
+        mix = "+".join(
+            f"{int(100 * frac)}%W{bits}" for bits, frac in self.precision_mix
+        )
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "mix": mix if self.kind == "systolic" else (self.gpu_method or "-"),
+            "recon": self.uses_recon,
+            "substrates": (
+                "all"
+                if self.supported_substrates is None
+                else ",".join(self.supported_substrates)
+            ),
+            "params": self.describe_schema(),
+            "version": self.version or "-",
+            "source": self.source,
+        }
+
+
+# Legacy alias: the seed-era per-arch dataclass is now the registry spec.
+ArchSpec = HwArchSpec
+
+
+_N_RECON = Param(
+    "n_recon", 1, (int,), "time-multiplexed ReCoN units (Fig. 15 design variants)"
+)
+
+
+def _builtin_arch_specs() -> Tuple[HwArchSpec, ...]:
+    systolic = (
+        HwArchSpec(
+            name="microscopiq-v1",
+            summary="MicroScopiQ, every layer at bb=4 (W4A4)",
+            precision_mix=((4, 1.0),),
+            mac_bits=4,
+            pack_by_bits={4: 1, 2: 2},
+            ebw_by_bits={4: 4.15, 2: 2.36},
+            uses_recon=True,
+            area_builder=microscopiq_area,
+            params=(_N_RECON,),
+            density_macs_per_pe=2.0,
+        ),
+        HwArchSpec(
+            name="microscopiq-v2",
+            summary="MicroScopiQ, 80% of layers at bb=2 (WxA4)",
+            precision_mix=((2, 0.8), (4, 0.2)),
+            mac_bits=2,
+            pack_by_bits={4: 1, 2: 2},
+            ebw_by_bits={4: 4.15, 2: 2.36},
+            uses_recon=True,
+            area_builder=microscopiq_area,
+            params=(_N_RECON,),
+            density_macs_per_pe=2.0,
+        ),
+        # OliVe needs 8-bit on roughly half the layers to stay within the
+        # iso-accuracy band (its W4 degrades sharply on FMs, Fig. 2b); its
+        # bottom-up multi-precision support pairs PEs at 8-bit (pack 0.5) and
+        # every access pays the abfloat/flint decoder.
+        HwArchSpec(
+            name="olive",
+            summary="outlier-victim pairs, abfloat decoders, paired 8-bit PEs",
+            precision_mix=((4, 0.5), (8, 0.5)),
+            mac_bits=4,
+            pack_by_bits={4: 1, 8: 0.5},
+            ebw_by_bits={4: 4.0, 8: 8.0},
+            decode_pj_per_mac=0.008,
+            area_builder=olive_area,
+            density_macs_per_pe=0.5,
+        ),
+        # GOBO: 4-bit centroid inliers + FP32 sparse outliers; unaligned
+        # sparse accesses penalize DRAM, and its group PEs run at high
+        # precision.
+        HwArchSpec(
+            name="gobo",
+            summary="centroid dictionary inliers + FP32 sparse outliers",
+            precision_mix=((4, 1.0),),
+            mac_bits=16,
+            pack_by_bits={4: 1},
+            ebw_by_bits={4: 15.6},
+            unaligned_penalty=1.3,
+            area_builder=gobo_area,
+            area_baseline=("Group PE",),
+        ),
+        # OLAccel: 4-bit inliers with ~3% 16-bit outliers in separate PEs.
+        HwArchSpec(
+            name="olaccel",
+            summary="4-bit inliers + 16-bit outliers in dedicated PEs",
+            precision_mix=((4, 1.0),),
+            mac_bits=8,
+            pack_by_bits={4: 1},
+            ebw_by_bits={4: 5.2},
+            unaligned_penalty=1.15,
+            area_builder=_fixed_area("olaccel", 0.030),
+            area_baseline=("PE array",),
+        ),
+        # ANT: adaptive 4-bit types, aligned, light decode; needs 8-bit on a
+        # quarter of layers for iso-accuracy on FMs.
+        HwArchSpec(
+            name="ant",
+            summary="adaptive 4-bit number types, 25% of layers at 8-bit",
+            precision_mix=((4, 0.75), (8, 0.25)),
+            mac_bits=4,
+            pack_by_bits={4: 1, 8: 0.5},
+            ebw_by_bits={4: 4.0, 8: 8.0},
+            decode_pj_per_mac=0.005,
+            area_builder=_fixed_area("ant", 0.012),
+            area_baseline=("PE array",),
+        ),
+        # AdaptivFloat: 8-bit adaptive FP PEs throughout.
+        HwArchSpec(
+            name="adaptivfloat",
+            summary="8-bit adaptive floating-point PEs throughout",
+            precision_mix=((8, 1.0),),
+            mac_bits=16,
+            pack_by_bits={8: 1},
+            ebw_by_bits={8: 8.0},
+            area_builder=_fixed_area("adaptivfloat", 0.035),
+            area_baseline=("PE array",),
+        ),
+    )
+    gpu = tuple(
+        HwArchSpec(
+            name=f"gpu-{method}",
+            summary=f"A100 kernel cost model: {summary}",
+            kind="gpu",
+            gpu_method=method,
+            supported_substrates=("lm", "vlm"),
+        )
+        for method, summary in (
+            ("trtllm-fp16", "TRT-LLM FP16 reference"),
+            ("atom-w4a4", "Atom W4A4 fused-dequant INT4 kernel"),
+            ("ms-noopt", "MicroScopiQ, shared-memory merge, FP16 GEMM"),
+            ("ms-optim", "MicroScopiQ, register merge + INT4 inlier tiles"),
+            ("ms-mtc", "MicroScopiQ on the §6.2 modified tensor core"),
+        )
+    )
+    return systolic + gpu
+
+
+ARCHS: Dict[str, HwArchSpec] = {spec.name: spec for spec in _builtin_arch_specs()}
+
+
+def register_arch(spec: HwArchSpec) -> HwArchSpec:
+    """Add ``spec`` to the registry (last registration wins)."""
+    ARCHS[spec.name] = spec
+    return spec
+
+
+def get_arch(name: str) -> HwArchSpec:
+    """Look up an arch by name; tries the plugin loader once on a miss and
+    raises with the known list if the name is still absent."""
+    try:
+        return ARCHS[name]
+    except KeyError:
+        pass
+    from .. import plugins
+
+    plugins.load_plugins()
+    try:
+        return ARCHS[name]
+    except KeyError:
+        known = ", ".join(sorted(ARCHS))
+        raise KeyError(f"unknown arch {name!r}; known: {known}") from None
+
+
+def known_arch_names() -> list[str]:
+    return sorted(ARCHS)
+
+
+# --------------------------------------------------------------- inference --
+
+
+@dataclass
+class InferenceResult:
+    """Latency and energy of one simulated inference (legacy result shape)."""
+
+    arch: str
+    model: str
+    cycles: float
+    stats: GemmStats
+    energy: EnergyReport
+
+    @property
+    def latency_ms(self) -> float:
+        return self.cycles / 1e6  # at 1 GHz
+
+
+def simulate_arch_inference(
+    arch_name: str,
+    geom: ModelGeometry,
+    prefill: int = 128,
+    decode_tokens: int = 32,
+    cfg: AcceleratorConfig | None = None,
+) -> InferenceResult:
+    """End-to-end inference (prefill + token-by-token decode) on one arch.
+
+    Legacy convenience over :func:`repro.hw.sim.simulate`; numerically
+    identical to the seed-era implementation.
+    """
+    from .sim import simulate
+    from .workloads import TransformerWorkload
+
+    arch = get_arch(arch_name)
+    workload = TransformerWorkload(geom, prefill=prefill, decode_tokens=decode_tokens)
+    report = simulate(arch, workload, cfg, include_native=False, include_area=False)
+    return InferenceResult(arch_name, geom.name, report.cycles, report.stats, report.energy)

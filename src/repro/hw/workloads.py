@@ -1,0 +1,500 @@
+"""Hardware workloads: per-substrate layer-spec generators for the simulator.
+
+Accelerator experiments (Fig. 12/13, Table 5/6) depend only on layer
+*geometry* and outlier statistics, not on trained weights, so the hardware
+simulator runs on workload descriptions instead of models. A
+:class:`HwWorkload` turns one (substrate, family) pair into the
+:class:`~repro.hw.mapping.LayerSpec` stream the systolic model consumes:
+
+* **transformer** (``lm`` / ``vlm``) — the real published model shapes of
+  :data:`GEOMETRIES` (true LLaMA/OPT/Phi/VILA dimensions, not the
+  scaled-down accuracy substrates), streamed as one prefill pass plus
+  token-by-token decode;
+* **CNN** (``cnn``) — conv stages lowered to im2col GEMM
+  (``[c_out, c_in·k²]`` matrices, one streamed vector per output pixel),
+  mirroring :class:`repro.models.cnn.ConvNet`;
+* **SSM** (``ssm``) — the selective-scan projections: three input
+  projections streamed once per recurrence step plus the output projection
+  once per sequence, mirroring
+  :class:`repro.models.ssm.SelectiveScanModel`;
+* **GEMM probe** (``gemm``) — a single synthetic layer for microbenchmarks
+  (the Fig. 16 ReCoN-conflict probe).
+
+Generators are keyed off the substrate registry through
+:data:`HW_WORKLOADS` (:func:`build_workload` / :func:`workload_families`),
+so a hardware sweep enumerates exactly like an accuracy sweep: every
+(substrate, family) pair the registry can build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from .mapping import LayerSpec
+
+__all__ = [
+    "GEOMETRIES",
+    "HW_WORKLOADS",
+    "CnnWorkload",
+    "GemmWorkload",
+    "HwWorkload",
+    "LayerWork",
+    "ModelGeometry",
+    "SsmWorkload",
+    "Stream",
+    "TransformerWorkload",
+    "WorkloadFactory",
+    "build_workload",
+    "layer_specs",
+    "register_workload",
+    "workload_families",
+    "workload_substrates",
+]
+
+
+@dataclass(frozen=True)
+class ModelGeometry:
+    """Transformer shape parameters of one evaluation model."""
+
+    name: str
+    d_model: int
+    n_layers: int
+    d_ff: int
+    d_kv: int  # KV projection width (GQA models have d_kv < d_model)
+    vocab: int
+    outlier_fraction: float  # per-weight outlier rate (drives ReCoN demand)
+
+    @property
+    def quantized_params(self) -> int:
+        per_block = (
+            2 * self.d_model * self.d_model  # wq, wo
+            + 2 * self.d_kv * self.d_model  # wk, wv
+            + 3 * self.d_model * self.d_ff  # w1, w3, w2
+        )
+        return per_block * self.n_layers
+
+
+GEOMETRIES: dict[str, ModelGeometry] = {
+    g.name: g
+    for g in [
+        ModelGeometry("opt-6.7b", 4096, 32, 16384, 4096, 50272, 0.008),
+        ModelGeometry("llama2-7b", 4096, 32, 11008, 4096, 32000, 0.010),
+        ModelGeometry("llama2-13b", 5120, 40, 13824, 5120, 32000, 0.011),
+        ModelGeometry("llama2-70b", 8192, 80, 28672, 1024, 32000, 0.012),
+        ModelGeometry("llama3-8b", 4096, 32, 14336, 1024, 128256, 0.014),
+        ModelGeometry("phi3-3.8b", 3072, 32, 8192, 3072, 32064, 0.009),
+        ModelGeometry("vila-7b", 4096, 32, 11008, 4096, 32000, 0.016),
+        ModelGeometry("llava1.5-7b", 4096, 32, 11008, 4096, 32000, 0.015),
+    ]
+}
+
+
+def layer_specs(
+    geom: ModelGeometry,
+    bit_budget: int = 2,
+    outlier_fraction: float | None = None,
+    micro_block: int = 8,
+    ebw: float | None = None,
+) -> list[LayerSpec]:
+    """Per-block linear layers of a model, with counts (one spec per shape)."""
+    frac = geom.outlier_fraction if outlier_fraction is None else outlier_fraction
+    d, ff, kv, n = geom.d_model, geom.d_ff, geom.d_kv, geom.n_layers
+    shapes = [
+        ("wq", d, d, 1),
+        ("wk", kv, d, 1),
+        ("wv", kv, d, 1),
+        ("wo", d, d, 1),
+        ("w1", ff, d, 1),
+        ("w3", ff, d, 1),
+        ("w2", d, ff, 1),
+    ]
+    return [
+        LayerSpec.synthetic(
+            f"{geom.name}.{nm}",
+            d_out,
+            d_in,
+            bit_budget=bit_budget,
+            outlier_fraction=frac,
+            micro_block=micro_block,
+            count=cnt * n,
+            ebw=ebw,
+        )
+        for nm, d_out, d_in, cnt in shapes
+    ]
+
+
+# ------------------------------------------------------------ the protocol --
+
+
+@dataclass(frozen=True)
+class Stream:
+    """One streaming pattern of a layer within an inference.
+
+    ``m`` input vectors flow through the array; ``repeat`` counts in-phase
+    repetitions intrinsic to one phase execution (the SSM recurrence steps);
+    ``executions`` counts how often the phase itself runs per inference (the
+    transformer's ``decode_tokens`` single-vector steps). The simulator's
+    precision-mix pass scales by ``repeat × executions``; the native pass
+    reports each ``phase`` separately (scaled by ``repeat`` only) so callers
+    can recombine phases with their own arithmetic.
+    """
+
+    phase: str
+    m: int
+    repeat: float = 1.0
+    executions: float = 1.0
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """One layer shape and how the workload streams inputs through it."""
+
+    spec: LayerSpec
+    streams: Tuple[Stream, ...]
+
+
+@runtime_checkable
+class HwWorkload(Protocol):
+    """What the simulator needs from a workload: named, per-tier layer work."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def substrate(self) -> str: ...
+
+    def units(
+        self, bit_budget: int, ebw: Optional[float] = None
+    ) -> List[LayerWork]:
+        """Layer work at one precision tier; ``ebw`` overrides the stored
+        bits/weight (``None`` = the native outlier-aware EBW)."""
+        ...
+
+
+# ----------------------------------------------------------- the generators --
+
+
+@dataclass(frozen=True)
+class TransformerWorkload:
+    """Prefill + decode over a transformer geometry (the lm/vlm workload)."""
+
+    geometry: ModelGeometry
+    substrate: str = "lm"
+    prefill: int = 128
+    decode_tokens: int = 32
+    micro_block: int = 8
+
+    @property
+    def name(self) -> str:
+        return self.geometry.name
+
+    def units(self, bit_budget: int, ebw: Optional[float] = None) -> List[LayerWork]:
+        streams = (
+            Stream("prefill", self.prefill),
+            Stream("decode", 1, executions=float(self.decode_tokens)),
+        )
+        return [
+            LayerWork(s, streams)
+            for s in layer_specs(
+                self.geometry,
+                bit_budget=bit_budget,
+                ebw=ebw,
+                micro_block=self.micro_block,
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class CnnWorkload:
+    """im2col-lowered conv stages of a :class:`~repro.models.cnn.ConvNet`.
+
+    Stage ``i`` consumes a ``[c_out, c_in·k²]`` GEMM with one streamed input
+    vector per output pixel; spatial resolution halves per stage (the
+    model's stride-2 pooling), so ``m_i = batch · (hw / 2^i)²``.
+    """
+
+    name: str
+    channels: Tuple[int, ...]
+    img_hw: int
+    outlier_fraction: float
+    substrate: str = "cnn"
+    batch: int = 1
+    kernel: int = 3
+    micro_block: int = 8
+
+    @classmethod
+    def from_profile(cls, family: str, batch: int = 1) -> "CnnWorkload":
+        from ..models.cnn import CNN_PROFILES
+
+        p = CNN_PROFILES[family]
+        return cls(
+            name=p.name,
+            channels=tuple(p.channels),
+            img_hw=p.img_hw,
+            outlier_fraction=p.outlier_pct / 100.0,
+            batch=batch,
+        )
+
+    def units(self, bit_budget: int, ebw: Optional[float] = None) -> List[LayerWork]:
+        out: List[LayerWork] = []
+        c_in = 3
+        for i, c_out in enumerate(self.channels):
+            hw = max(1, self.img_hw >> i)
+            spec = LayerSpec.synthetic(
+                f"{self.name}.conv{i}",
+                c_out,
+                c_in * self.kernel * self.kernel,
+                bit_budget=bit_budget,
+                outlier_fraction=self.outlier_fraction,
+                micro_block=self.micro_block,
+                ebw=ebw,
+            )
+            out.append(LayerWork(spec, (Stream("batch", self.batch * hw * hw),)))
+            c_in = c_out
+        return out
+
+
+@dataclass(frozen=True)
+class SsmWorkload:
+    """Selective-scan projections of a
+    :class:`~repro.models.ssm.SelectiveScanModel`: the three input
+    projections stream once per recurrence step, the output projection once
+    per sequence."""
+
+    name: str
+    d_model: int
+    d_state: int
+    seq_len: int
+    outlier_fraction: float
+    substrate: str = "ssm"
+    batch: int = 1
+    micro_block: int = 8
+
+    @classmethod
+    def from_profile(cls, family: str, batch: int = 1) -> "SsmWorkload":
+        from ..models.ssm import SSM_PROFILES
+
+        p = SSM_PROFILES[family]
+        return cls(
+            name=p.name,
+            d_model=p.d_model,
+            d_state=p.d_state,
+            seq_len=p.seq_len,
+            outlier_fraction=p.outlier_pct / 100.0,
+            batch=batch,
+        )
+
+    def units(self, bit_budget: int, ebw: Optional[float] = None) -> List[LayerWork]:
+        def spec(nm: str, d_out: int, d_in: int) -> LayerSpec:
+            return LayerSpec.synthetic(
+                f"{self.name}.{nm}",
+                d_out,
+                d_in,
+                bit_budget=bit_budget,
+                outlier_fraction=self.outlier_fraction,
+                micro_block=self.micro_block,
+                ebw=ebw,
+            )
+
+        scan = (Stream("scan", self.batch, repeat=float(self.seq_len)),)
+        proj = (Stream("project", self.batch),)
+        s, d = self.d_state, self.d_model
+        return [
+            LayerWork(spec("w_in", s, d), scan),
+            LayerWork(spec("w_gate_a", s, d), scan),
+            LayerWork(spec("w_gate_b", s, d), scan),
+            LayerWork(spec("w_out", d, s), proj),
+        ]
+
+
+@dataclass(frozen=True)
+class GemmWorkload:
+    """A single synthetic GEMM layer (microbenchmark probes, Fig. 16)."""
+
+    d_out: int
+    d_in: int
+    substrate: str = "gemm"
+    bit_budget: int = 2
+    outlier_fraction: float = 0.01
+    batch: int = 1
+    micro_block: int = 8
+
+    @property
+    def name(self) -> str:
+        return f"{self.d_out}x{self.d_in}"
+
+    def units(self, bit_budget: int, ebw: Optional[float] = None) -> List[LayerWork]:
+        # The probe pins its own precision and native EBW: a microbenchmark
+        # measures one configuration, not an arch's precision mix.
+        spec = LayerSpec.synthetic(
+            "probe",
+            self.d_out,
+            self.d_in,
+            bit_budget=self.bit_budget,
+            outlier_fraction=self.outlier_fraction,
+            micro_block=self.micro_block,
+        )
+        return [LayerWork(spec, (Stream("batch", self.batch),))]
+
+
+# ------------------------------------------------------------- the registry --
+
+
+@dataclass(frozen=True)
+class WorkloadFactory:
+    """How one substrate's families become hardware workloads."""
+
+    substrate: str
+    families: Callable[[], Tuple[str, ...]]
+    build: Callable[..., HwWorkload]  # (family, **shape kwargs) -> workload
+
+
+def _transformer_families(substrate_families: Callable[[], Tuple[str, ...]]):
+    """Geometry names that are also families of the given substrate."""
+
+    def families() -> Tuple[str, ...]:
+        known = set(substrate_families())
+        return tuple(name for name in GEOMETRIES if name in known)
+
+    return families
+
+
+def _lm_families() -> Tuple[str, ...]:
+    from ..models.generator import MODEL_FAMILIES
+
+    return tuple(MODEL_FAMILIES)
+
+
+def _vlm_families() -> Tuple[str, ...]:
+    from ..models.vlm import VLM_PROFILES
+
+    return tuple(VLM_PROFILES)
+
+
+def _cnn_families() -> Tuple[str, ...]:
+    from ..models.cnn import CNN_PROFILES
+
+    return tuple(CNN_PROFILES)
+
+
+def _ssm_families() -> Tuple[str, ...]:
+    from ..models.ssm import SSM_PROFILES
+
+    return tuple(SSM_PROFILES)
+
+
+def _build_transformer(substrate: str):
+    def build(family: str, prefill: int = 128, decode_tokens: int = 32, **_) -> HwWorkload:
+        return TransformerWorkload(
+            GEOMETRIES[family],
+            substrate=substrate,
+            prefill=prefill,
+            decode_tokens=decode_tokens,
+        )
+
+    return build
+
+
+def _build_cnn(family: str, batch: int = 1, **_) -> HwWorkload:
+    return CnnWorkload.from_profile(family, batch=batch)
+
+
+def _build_ssm(family: str, batch: int = 1, **_) -> HwWorkload:
+    return SsmWorkload.from_profile(family, batch=batch)
+
+
+def _gemm_families() -> Tuple[str, ...]:
+    return ("4096x4096",)  # representative probe; any "DOUTxDIN" name builds
+
+
+def _build_gemm(
+    family: str,
+    batch: int = 1,
+    bit_budget: int = 2,
+    outlier_fraction: Optional[float] = None,
+    **_,
+) -> HwWorkload:
+    d_out, _, d_in = family.partition("x")
+    if not (d_out.isdigit() and d_in.isdigit()):
+        raise KeyError(
+            f"gemm workload family must look like '4096x4096', got {family!r}"
+        )
+    return GemmWorkload(
+        int(d_out),
+        int(d_in),
+        bit_budget=bit_budget,
+        outlier_fraction=0.01 if outlier_fraction is None else outlier_fraction,
+        batch=batch,
+    )
+
+
+HW_WORKLOADS: Dict[str, WorkloadFactory] = {}
+
+
+def register_workload(factory: WorkloadFactory) -> WorkloadFactory:
+    """Add a per-substrate workload generator (last registration wins)."""
+    HW_WORKLOADS[factory.substrate] = factory
+    return factory
+
+
+register_workload(
+    WorkloadFactory("lm", _transformer_families(_lm_families), _build_transformer("lm"))
+)
+register_workload(
+    WorkloadFactory("vlm", _transformer_families(_vlm_families), _build_transformer("vlm"))
+)
+register_workload(WorkloadFactory("cnn", _cnn_families, _build_cnn))
+register_workload(WorkloadFactory("ssm", _ssm_families, _build_ssm))
+register_workload(WorkloadFactory("gemm", _gemm_families, _build_gemm))
+
+
+def workload_substrates() -> Tuple[str, ...]:
+    """Substrates with a registered hardware workload generator."""
+    return tuple(sorted(HW_WORKLOADS))
+
+
+def workload_families(substrate: str) -> Tuple[str, ...]:
+    """The family names ``substrate`` can emit hardware workloads for."""
+    try:
+        factory = HW_WORKLOADS[substrate]
+    except KeyError:
+        known = ", ".join(workload_substrates())
+        raise KeyError(
+            f"no hardware workload generator for substrate {substrate!r}; known: {known}"
+        ) from None
+    return tuple(factory.families())
+
+
+def can_build_workload(substrate: str, family: str) -> bool:
+    """Whether a (substrate, family) pair resolves to a hardware workload.
+
+    Unlike :func:`workload_families` (which lists *representative* names),
+    this answers for pattern-based families too — e.g. any ``"512x256"``
+    under the ``gemm`` probe substrate.
+    """
+    factory = HW_WORKLOADS.get(substrate)
+    if factory is None:
+        return False
+    try:
+        factory.build(family)
+    except KeyError:
+        return False
+    return True
+
+
+def build_workload(substrate: str, family: str, **shape) -> HwWorkload:
+    """Build the hardware workload of one (substrate, family) pair.
+
+    ``shape`` carries the streaming knobs (``prefill`` / ``decode_tokens`` /
+    ``batch`` / probe overrides); generators ignore knobs that don't apply
+    to their substrate.
+    """
+    try:
+        factory = HW_WORKLOADS[substrate]
+    except KeyError:
+        known = ", ".join(workload_substrates())
+        raise KeyError(
+            f"no hardware workload generator for substrate {substrate!r}; known: {known}"
+        ) from None
+    return factory.build(family, **shape)

@@ -15,12 +15,17 @@ tiers:
 * an in-process LRU (thread-safe; concurrent requests for one fingerprint
   coalesce on the bundle's own lock, so a wq/wk/wv group dispatched in
   parallel builds its shared ``H`` once);
-* an optional **content-addressed disk tier** (``<root>/<hh>/<fp>.npy``
+* an optional **content-addressed disk tier** (``<root>/<hh>/<fp>.npz``
   blobs, written atomically) so process-pool sweeps stop recomputing
   Hessians per worker: the first worker to build an ``H`` persists it, every
   other worker — and every later *process* — loads the blob instead of
-  re-running the O(n·d²) ``XᵀX`` build. ``hits`` / ``disk_hits`` /
-  ``misses`` counters make the reuse assertable.
+  re-running the O(n·d²) ``XᵀX`` build. The blob holds the *factors* too:
+  ``hinv_diag`` and the Cholesky ``u_factor`` are appended (under
+  version-tagged keys) as they are first computed, so a genuinely fresh
+  process pays zero O(d³) inversions for fingerprints an earlier run
+  factorized. Partial or corrupt blobs degrade gracefully — whatever loads
+  is used, the rest recomputes from the activations. ``hits`` /
+  ``disk_hits`` / ``misses`` counters make the reuse assertable.
 
 :func:`default_hessian_store` returns the process-wide store; its disk tier
 attaches from the ``REPRO_HESSIAN_DIR`` environment variable, which the
@@ -34,6 +39,7 @@ import hashlib
 import os
 import tempfile
 import threading
+import zipfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
@@ -48,6 +54,16 @@ __all__ = [
 ]
 
 HESSIAN_DIR_ENV = "REPRO_HESSIAN_DIR"
+
+# Disk-blob schema: factor arrays live under version-tagged keys
+# ("v1:h", ...) so a future numerics change can bump the tag and old blobs
+# fall through to recompute instead of silently poisoning results.
+_BLOB_VERSION = 1
+_BLOB_FACTORS = ("h", "hinv_diag", "u_factor")
+
+
+def _blob_key(factor: str) -> str:
+    return f"v{_BLOB_VERSION}:{factor}"
 
 
 class HessianBundle:
@@ -67,8 +83,13 @@ class HessianBundle:
         damp_ratio: float = 0.01,
         h: Optional[np.ndarray] = None,
         loader=None,
-        on_h_computed=None,
+        persist=None,
     ):
+        """``loader`` lazily resolves a dict of persisted factors (``h`` /
+        ``hinv_diag`` / ``u_factor``, any subset containing ``h``) from the
+        store's disk tier; ``persist`` is called with the bundle whenever a
+        persistable factor is first *computed*, so the tier accumulates
+        factors as they come into existence."""
         if acts is None and h is None and loader is None:
             raise ValueError("HessianBundle needs activations, a Hessian, or a loader")
         self.acts = acts
@@ -78,7 +99,7 @@ class HessianBundle:
         self._hinv_diag: Optional[np.ndarray] = None
         self._u: Optional[np.ndarray] = None
         self._loader = loader
-        self._on_h_computed = on_h_computed
+        self._persist = persist
         self._lock = threading.RLock()
         self.h_builds = 0
         self.inversions = 0
@@ -93,26 +114,46 @@ class HessianBundle:
         return cls(h=np.asarray(hessian))
 
     # ----------------------------------------------------------- lazy factors
+    def _persist_now(self) -> None:
+        if self._persist is not None:
+            self._persist(self)
+
+    def persisted_factors(self) -> dict:
+        """The currently-computed factors worth writing to the disk tier."""
+        with self._lock:
+            out = {}
+            for name, value in (
+                ("h", self._h),
+                ("hinv_diag", self._hinv_diag),
+                ("u_factor", self._u),
+            ):
+                if value is not None:
+                    out[name] = value
+            return out
+
     @property
     def h(self) -> np.ndarray:
         """The damped layer Hessian, built / loaded on first access."""
         with self._lock:
             if self._h is None:
                 if self._loader is not None:
-                    self._h = self._loader()
+                    loaded = self._loader() or {}
                     self._loader = None
+                    self._h = loaded.get("h")
+                    # Factors persisted by an earlier process ride along, so
+                    # a fresh interpreter pays zero O(d³) work for them.
+                    self._hinv_diag = loaded.get("hinv_diag")
+                    self._u = loaded.get("u_factor")
                 if self._h is None:
                     from ..quant.hessian import layer_hessian
 
                     self._h = layer_hessian(self.acts, self.damp_ratio)
                     self.h_builds += 1
-                    if self._on_h_computed is not None:
-                        self._on_h_computed(self._h)
+                    self._persist_now()
                 # H is all any factor needs from here on; dropping the
                 # activation reference keeps a store full of bundles from
                 # pinning every layer's [n, d_in] calibration matrix.
                 self.acts = None
-                self._on_h_computed = None
             return self._h
 
     @property
@@ -136,7 +177,10 @@ class HessianBundle:
         """``diag(H⁻¹)`` — the OBS pruning-saliency denominators."""
         with self._lock:
             if self._hinv_diag is None:
+                self.h  # resolve the loader first: disk may hold the factor
+            if self._hinv_diag is None:
                 self._hinv_diag = np.diag(self.hinv).copy()
+                self._persist_now()
             return self._hinv_diag
 
     @property
@@ -144,9 +188,12 @@ class HessianBundle:
         """Upper Cholesky factor ``U`` with ``H⁻¹ = UᵀU`` (GPTQ's form)."""
         with self._lock:
             if self._u is None:
+                self.h  # resolve the loader first: disk may hold the factor
+            if self._u is None:
                 low = np.linalg.cholesky(self.hinv)
                 self._u = np.ascontiguousarray(low.T)
                 self.factorizations += 1
+                self._persist_now()
             return self._u
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -171,9 +218,12 @@ class HessianStore:
     thread-dispatched wq/wk/wv group onto one ``XᵀX`` build.
 
     With ``disk_root`` set, every freshly built ``H`` is persisted as a
-    content-addressed ``.npy`` blob and later stores — including ones in
-    *other processes* — resolve the fingerprint from disk (``disk_hits``)
-    instead of recomputing (``misses``).
+    content-addressed ``.npz`` blob — and the expensive factors
+    (``hinv_diag``, the Cholesky ``u_factor``) are appended to it as they
+    are first computed — so later stores, including ones in *other
+    processes*, resolve the fingerprint from disk (``disk_hits``) instead of
+    recomputing (``misses``) and pay zero O(d³) factorizations for
+    fingerprints an earlier run already factorized.
     """
 
     def __init__(self, max_entries: int = 64, disk_root: Optional[os.PathLike] = None):
@@ -196,24 +246,46 @@ class HessianStore:
     def _blob_path(self, key: str) -> Optional[Path]:
         if self.disk_root is None:
             return None
+        return self.disk_root / key[:2] / f"{key}.npz"
+
+    def _legacy_blob_path(self, key: str) -> Optional[Path]:
+        """Pre-factor-tier blobs (raw ``H`` as ``.npy``) stay readable."""
+        if self.disk_root is None:
+            return None
         return self.disk_root / key[:2] / f"{key}.npy"
 
     def _disk_loader(self, key: str):
-        """A lazy loader for an on-disk blob; ``None`` when absent.
+        """A lazy factor-dict loader for an on-disk blob; ``None`` if absent.
 
-        A blob that exists but fails to load (truncated write, version skew)
-        re-classifies the earlier ``disk_hits`` count as a miss, so the
-        counters always report what actually happened, not what the
+        The blob is an ``.npz`` of version-tagged factor arrays; whatever
+        subset is present (and loads cleanly) is returned. A blob that
+        exists but fails to load — truncated write, version skew, foreign
+        bytes — re-classifies the earlier ``disk_hits`` count as a miss, so
+        the counters always report what actually happened, not what the
         directory listing promised.
         """
         path = self._blob_path(key)
+        legacy = self._legacy_blob_path(key)
+        use_legacy = False
         if path is None or not path.is_file():
-            return None
+            if legacy is None or not legacy.is_file():
+                return None
+            use_legacy = True
 
-        def load() -> Optional[np.ndarray]:
+        def load() -> Optional[dict]:
             try:
-                return np.load(path)
-            except (OSError, ValueError):
+                if use_legacy:
+                    return {"h": np.load(legacy)}
+                with np.load(path) as blob:
+                    loaded = {
+                        factor: blob[_blob_key(factor)]
+                        for factor in _BLOB_FACTORS
+                        if _blob_key(factor) in blob.files
+                    }
+                if "h" not in loaded:  # unknown schema version: treat as miss
+                    raise ValueError(f"no {_blob_key('h')} array in {path.name}")
+                return loaded
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
                 with self._lock:  # corrupt blob: that "hit" was really a miss
                     self.disk_hits -= 1
                     self.misses += 1
@@ -222,18 +294,23 @@ class HessianStore:
         return load
 
     def _disk_writer(self, key: str):
-        """A callback persisting a freshly built ``H``; ``None`` if no tier."""
+        """A callback persisting a bundle's computed factors; ``None`` if no
+        tier. Called again as new factors appear; each write atomically
+        replaces the blob with the fuller factor set."""
         path = self._blob_path(key)
         if path is None:
             return None
 
-        def write(h: np.ndarray) -> None:
+        def write(bundle: "HessianBundle") -> None:
+            factors = bundle.persisted_factors()
+            if "h" not in factors:
+                return
             try:
                 path.parent.mkdir(parents=True, exist_ok=True)
                 fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
                 try:
                     with os.fdopen(fd, "wb") as f:
-                        np.save(f, h)
+                        np.savez(f, **{_blob_key(k): v for k, v in factors.items()})
                     os.replace(tmp, path)
                 except BaseException:
                     try:
@@ -265,7 +342,7 @@ class HessianStore:
                 acts,
                 damp_ratio,
                 loader=loader,
-                on_h_computed=self._disk_writer(key),
+                persist=self._disk_writer(key),
             )
             self._data[key] = made
             while len(self._data) > self.max_entries:
@@ -287,7 +364,7 @@ class HessianStore:
         root = Path(disk_root)
         removed = 0
         now = time.time()
-        for blob in root.glob("??/*.npy"):
+        for blob in [*root.glob("??/*.npz"), *root.glob("??/*.npy")]:
             try:
                 if older_than is not None and now - blob.stat().st_mtime < older_than:
                     continue

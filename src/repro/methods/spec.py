@@ -180,6 +180,10 @@ class MethodSpec:
         supported_substrates: workload classes the method can quantize;
             ``None`` means every registered substrate.
         damp_param: which parameter carries the Hessian damping λ.
+        version: optional spec version hashed into pipeline job identities,
+            so cached results invalidate when a plugin's numerics change
+            (builtins ride ``repro.__version__`` instead and leave this
+            ``None`` — omitting it keeps job hashes stable).
         source: where the spec came from (``"builtin"`` or the plugin
             distribution name, filled by the plugin loader).
     """
@@ -195,6 +199,7 @@ class MethodSpec:
     group_param: Optional[str] = "group_size"
     supported_substrates: Optional[Tuple[str, ...]] = None
     damp_param: str = "damp_ratio"
+    version: Optional[str] = None
     source: str = "builtin"
 
     # ------------------------------------------------------------ the schema

@@ -1,20 +1,24 @@
 """Command-line front end: ``python -m repro.pipeline`` / ``repro-sweep``.
 
-Three subcommands:
+Four subcommands:
 
 * ``sweep`` — enumerate a grid (substrates × families × methods × bits ×
-  group sizes × calibration modes), run it through the cache + executor,
-  print the pivot table, optionally dump JSON records; ``--list-families``
-  / ``--list-methods`` (a capability table: hessian? act? per-tensor?
-  substrates, parameter schema) / ``--list-substrates`` / ``--list-plugins``
-  (entry-point-discovered methods and substrates) print the valid axis
-  values and exit;
+  group sizes × calibration modes, plus the ``--archs`` hardware axis), run
+  it through the cache + executor, print the pivot table, optionally dump
+  JSON records; ``--param [target.]key=value`` pins schema-validated method
+  or arch parameters; ``--list-families`` / ``--list-methods`` (a
+  capability table: hessian? act? per-tensor? substrates, parameter schema)
+  / ``--list-substrates`` / ``--list-archs`` (the accelerator registry) /
+  ``--list-plugins`` (entry-point-discovered methods, substrates, and
+  archs) print the valid axis values and exit;
+* ``describe`` — full parameter docs and capability flags of one method or
+  arch;
 * ``show``  — summarize what the cache already holds;
 * ``clean`` — purge cached results (optionally only entries older than
   ``--older-than`` seconds / ``--max-age-hours`` hours).
 
-Plugins are loaded at startup, so entry-point / ``REPRO_PLUGINS`` methods
-and substrates are first-class axis values everywhere.
+Plugins are loaded at startup, so entry-point / ``REPRO_PLUGINS`` methods,
+substrates, and archs are first-class axis values everywhere.
 """
 
 from __future__ import annotations
@@ -42,6 +46,44 @@ def _act_bits(text: str) -> Optional[int]:
 def _group_size(text: str) -> Optional[int]:
     """'none' means the method's default group size; 16 is a real size."""
     return None if text.lower() == "none" else int(text)
+
+
+def _param_value(text: str):
+    """Typed value for a ``--param`` assignment: none/bool/int/float/str."""
+    low = text.lower()
+    if low == "none":
+        return None
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
+
+
+def _parse_params(assignments: List[str]):
+    """Split repeated ``--param [target.]key=value`` assignments.
+
+    Returns ``(unqualified {key: value}, qualified {target: {key: value}})``;
+    the target form (``gptq.damp_ratio=0.02`` / ``microscopiq-v2.n_recon=4``)
+    disambiguates when several swept methods or archs share a key.
+    """
+    plain: dict = {}
+    targeted: dict = {}
+    for text in assignments:
+        key, sep, value = text.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--param expects [target.]key=value, got {text!r}"
+            )
+        target, dot, name = key.partition(".")
+        if dot and target and name:
+            targeted.setdefault(target, {})[name] = _param_value(value)
+        else:
+            plain[key] = _param_value(value)
+    return plain, targeted
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(CALIBRATION_MODES),
         help="engine calibration modes (the sequential-vs-parallel ablation)",
     )
+    sweep.add_argument(
+        "--archs", nargs="+", default=[], metavar="ARCH",
+        help="accelerators to simulate (see --list-archs); adds one hardware "
+             "job per valid substrate × family × arch combination",
+    )
+    sweep.add_argument(
+        "--param", action="append", default=[], metavar="[TARGET.]KEY=VALUE",
+        help="set a schema-validated method or arch parameter (repeatable); "
+             "unqualified keys route to every swept method/arch whose schema "
+             "accepts them, 'gptq.damp_ratio=0.02' pins one target",
+    )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--eval-sequences", type=int, default=32)
     sweep.add_argument("--eval-seq-len", type=int, default=32)
@@ -107,9 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "act? per-tensor? substrates, params) and exit")
     sweep.add_argument("--list-substrates", action="store_true",
                        help="print the registered substrates and exit")
+    sweep.add_argument("--list-archs", action="store_true",
+                       help="print the accelerator registry (kind, precision "
+                            "mix, substrates, params) and exit")
     sweep.add_argument("--list-plugins", action="store_true",
                        help="print entry-point/REPRO_PLUGINS-discovered "
-                            "methods and substrates and exit")
+                            "methods, substrates, and archs and exit")
+
+    describe = sub.add_parser(
+        "describe",
+        help="print full parameter docs and capabilities of one method or arch",
+    )
+    describe.add_argument("name", help="a method or arch registry name")
 
     show = sub.add_parser("show", help="summarize the result cache")
     show.add_argument("--cache-dir", default=DEFAULT_CACHE)
@@ -164,13 +226,41 @@ def _print_method_table() -> None:
         print(f"  {name}: {schema}")
 
 
+def _print_arch_table() -> None:
+    """The accelerator registry: one row per arch, schema lines below."""
+    from ..hw import ARCHS, SIM_PARAMS
+
+    header = ("arch", "kind", "precision-mix", "recon", "substrates",
+              "version", "source")
+    rows = []
+    schemas = []
+    for name in sorted(ARCHS):
+        caps = ARCHS[name].capabilities()
+        rows.append((
+            name, caps["kind"], caps["mix"],
+            "yes" if caps["recon"] else "-",
+            caps["substrates"], caps["version"], caps["source"],
+        ))
+        schemas.append((name, caps["params"]))
+    widths = [max(len(str(r[i])) for r in [header] + rows) + 2 for i in range(len(header))]
+    print("archs:")
+    print("  " + "".join(h.ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  " + "".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    print("\narch parameters:")
+    for name, schema in schemas:
+        print(f"  {name}: {schema}")
+    print("\nshared simulation parameters (every arch):")
+    print("  " + ", ".join(p.describe() for p in SIM_PARAMS))
+
+
 def _print_plugin_listing() -> None:
     from ..plugins import loaded_plugins
 
     records = loaded_plugins()
     if not records:
         print("plugins: none discovered (entry-point groups repro.methods / "
-              "repro.substrates, or REPRO_PLUGINS=module:attr,...)")
+              "repro.substrates / repro.hw, or REPRO_PLUGINS=module:attr,...)")
         return
     print("plugins:")
     for rec in records:
@@ -202,10 +292,83 @@ def _print_listings(args: argparse.Namespace) -> bool:
     if args.list_methods:
         _print_method_table()
         listed = True
+    if args.list_archs:
+        _print_arch_table()
+        listed = True
     if args.list_plugins:
         _print_plugin_listing()
         listed = True
     return listed
+
+
+def _print_params(params, indent: str = "  ") -> None:
+    for p in params:
+        kinds = "/".join(k.__name__ for k in p.kinds)
+        line = f"{indent}{p.name} ({kinds}, default {p.default!r})"
+        if p.choices is not None:
+            line += f" choices={list(p.choices)}"
+        print(line)
+        if p.doc:
+            print(f"{indent}    {p.doc}")
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    """Full Param docs + capability flags of one method or arch."""
+    from ..core.substrate import SUBSTRATES
+    from ..hw import ARCHS, SIM_PARAMS
+    from ..methods import METHODS
+
+    name = args.name
+    if name in METHODS:
+        spec = METHODS[name]
+        print(f"method {spec.name}: {spec.summary}")
+        print(f"  source: {spec.source}"
+              + (f", version {spec.version}" if spec.version else ""))
+        caps = spec.capabilities()
+        print(f"  capabilities: hessian={caps['hessian']} act={caps['act']} "
+              f"per_tensor={caps['per_tensor']} group_knob={caps['group_param'] or '-'}")
+        print(f"  substrates: {caps['substrates']}")
+        print("  parameters:")
+        _print_params(spec.params, "    ")
+        return 0
+    if name == "fp16":
+        print("method fp16: the full-precision reference (no parameters)")
+        return 0
+    if name in ARCHS:
+        spec = ARCHS[name]
+        print(f"arch {spec.name}: {spec.summary}")
+        print(f"  kind: {spec.kind}  source: {spec.source}"
+              + (f", version {spec.version}" if spec.version else ""))
+        if spec.kind == "systolic":
+            mix = " + ".join(f"{frac:.0%} of layers at W{b}" for b, frac in spec.precision_mix)
+            print(f"  precision mix: {mix}")
+            print(f"  mac bits: {spec.mac_bits}  recon: {spec.uses_recon}  "
+                  f"unaligned dram x{spec.unaligned_penalty}  "
+                  f"decode {spec.decode_pj_per_mac} pJ/MAC")
+            print(f"  ebw bits/weight: "
+                  + ", ".join(f"W{b}={e}" for b, e in sorted(spec.ebw_by_bits.items())))
+            if spec.area_builder is not None:
+                print(f"  compute area (64x64 default): {spec.area_mm2:.4f} mm^2")
+        else:
+            print(f"  gpu kernel: {spec.gpu_method}")
+        print(f"  substrates: all" if spec.supported_substrates is None
+              else f"  substrates: {', '.join(spec.supported_substrates)}")
+        print("  arch parameters:")
+        _print_params(spec.params, "    ")
+        print("  shared simulation parameters:")
+        _print_params(SIM_PARAMS, "    ")
+        return 0
+    if name in SUBSTRATES:
+        spec = SUBSTRATES[name]
+        print(f"substrate {spec.name}: {spec.paper_scope}")
+        print(f"  metric: {spec.metric} "
+              f"({'higher' if spec.higher_is_better else 'lower'} is better)")
+        print(f"  families: {', '.join(spec.families())}")
+        return 0
+    known = sorted(set(METHODS) | set(ARCHS) | set(SUBSTRATES) | {"fp16"})
+    print(f"error: unknown method/arch {name!r}; known: {', '.join(known)}",
+          file=sys.stderr)
+    return 2
 
 
 def _print_pivot(result, metric: str) -> None:
@@ -221,7 +384,13 @@ def _print_pivot(result, metric: str) -> None:
         col = o.job.label[len(prefix):] if o.job.label.startswith(prefix) else o.job.label
         if col not in columns:
             columns.append(col)
-        m = _substrate_metric(spec.substrate) if metric == "auto" else metric
+        if metric != "auto":
+            m = metric
+        elif spec.arch is not None:
+            # Hardware jobs pivot on latency (GPU cost models on throughput).
+            m = "latency_ms" if "latency_ms" in o.metrics else "tokens_per_s"
+        else:
+            m = _substrate_metric(spec.substrate)
         pivot.setdefault(spec.family, {})[col] = o.metrics.get(m)
     if not columns:
         print("no successful jobs")
@@ -237,17 +406,76 @@ def _print_pivot(result, metric: str) -> None:
         print(fam.ljust(fam_w) + "".join(cells))
 
 
+def _route_params(args: argparse.Namespace):
+    """Turn repeated ``--param`` flags into SweepSpec parameter fields.
+
+    Unqualified keys route by schema: to ``quant_kwargs`` when any swept
+    method accepts them, to ``hw_kwargs`` when the simulator or a swept arch
+    does (both when ambiguous — each side filters by schema). Qualified keys
+    pin one method (``method_params``) or arch (``arch_params``).
+    """
+    plain, targeted = _parse_params(args.param)
+    from ..hw import SIM_PARAMS, get_arch
+    from .spec import _method_spec
+
+    method_schemas: set = set()
+    for m in args.methods:
+        try:
+            m_spec = _method_spec(m)
+        except KeyError:
+            continue  # SweepSpec reports unknown methods with the full list
+        if m_spec is not None:
+            method_schemas |= set(m_spec.param_schema())
+    hw_schemas = {p.name for p in SIM_PARAMS}
+    for a in args.archs:
+        try:
+            hw_schemas |= set(get_arch(a).param_schema())
+        except KeyError:
+            pass  # SweepSpec reports unknown archs with the full list
+    quant_kwargs: dict = {}
+    hw_kwargs: dict = {}
+    for key, value in plain.items():
+        routed = False
+        if key in method_schemas:
+            quant_kwargs[key] = value
+            routed = True
+        if key in hw_schemas and args.archs:
+            hw_kwargs[key] = value
+            routed = True
+        if not routed:
+            raise KeyError(
+                f"--param key {key!r} is not a parameter of any swept "
+                f"method or arch (use 'target.{key}=...' or check "
+                f"'repro-sweep describe <name>')"
+            )
+    method_params: dict = {}
+    arch_params: dict = {}
+    for target, kw in targeted.items():
+        if target in args.methods:
+            method_params[target] = kw
+        elif target in args.archs:
+            arch_params[target] = kw
+        else:
+            raise KeyError(
+                f"--param target {target!r} is not a swept method or arch "
+                f"({', '.join([*args.methods, *args.archs]) or 'none swept'})"
+            )
+    return quant_kwargs, hw_kwargs, method_params, arch_params
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if _print_listings(args):
         return 0
-    if not args.families or not args.methods:
+    if not args.families or not (args.methods or args.archs):
         print(
-            "error: --families and --methods are required (use --list-families"
-            " / --list-methods / --list-substrates to discover valid names)",
+            "error: --families plus --methods and/or --archs are required "
+            "(use --list-families / --list-methods / --list-archs / "
+            "--list-substrates to discover valid names)",
             file=sys.stderr,
         )
         return 2
     try:
+        quant_kwargs, hw_kwargs, method_params, arch_params = _route_params(args)
         spec = SweepSpec(
             families=tuple(args.families),
             methods=tuple(args.methods),
@@ -257,11 +485,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             group_sizes=tuple(args.group_sizes),
             outlier_formats=tuple(f for f in args.outlier_formats),
             calibrations=tuple(args.calibrations),
+            archs=tuple(args.archs) or (None,),
+            quant_kwargs=quant_kwargs,
+            hw_kwargs=hw_kwargs,
+            method_params=method_params,
+            arch_params=arch_params,
             eval_sequences=args.eval_sequences,
             eval_seq_len=args.eval_seq_len,
             seed=args.seed,
         )
-    except KeyError as exc:
+    except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     result = run_sweep(
@@ -339,6 +572,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "describe":
+        return _cmd_describe(args)
     if args.command == "show":
         return _cmd_show(args)
     if args.command == "clean":

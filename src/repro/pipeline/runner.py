@@ -34,15 +34,22 @@ __all__ = ["SweepResult", "execute_job", "run_sweep"]
 
 
 def execute_job(job: Job) -> Dict[str, Any]:
-    """The canonical job kernel: quantize one setting and evaluate it.
+    """The canonical job kernel: quantize one setting and evaluate it — or,
+    for hardware jobs (``spec.arch`` set), simulate the (substrate, family)
+    workload on the named accelerator.
 
     Everything is rebuilt from the spec inside the call (model, corpora,
-    quantizer state) and all randomness flows from the job-hash-spawned seed,
-    so the result is identical no matter which executor or worker runs it.
+    quantizer state) and all randomness flows from the job-hash-spawned seed
+    (the hardware simulator is deterministic and draws none), so the result
+    is identical no matter which executor or worker runs it.
     """
+    spec = job.spec
+    if spec.arch is not None:
+        from ..hw import run_hw_job
+
+        return run_hw_job(spec.substrate, spec.family, spec.arch, dict(spec.hw_kwargs))
     from ..eval.harness import evaluate_setting
 
-    spec = job.spec
     return evaluate_setting(
         family=spec.family,
         method=spec.method,

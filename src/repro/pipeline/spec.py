@@ -6,12 +6,17 @@ substrate (LM / VLM / CNN / SSM, from the
 quantization method (any :mod:`repro.baselines.registry` entry, ``"fp16"``
 for the full-precision reference), the bit setting, optional
 method-specific knobs, the engine's calibration mode, optional KV-cache
-quantization, and the evaluation corpus size. A :class:`SweepSpec` describes
-a *grid* — the cross-product of substrates × models × methods ×
-weight/activation bits × outlier formats × group sizes × calibration modes —
-and enumerates it into a list of :class:`Job`\\ s; (substrate, family) pairs
-the registry cannot build are skipped, so one sweep can span every workload
-class at once.
+quantization, and the evaluation corpus size. Setting ``arch`` instead
+turns the spec into a **hardware job**: the (substrate, family) pair is
+resolved through the :mod:`repro.hw` workload registry and simulated on the
+named accelerator (``hw_kwargs`` carries the array/streaming knobs,
+validated against the arch's and the simulator's ``Param`` schemas at build
+time). A :class:`SweepSpec` describes a *grid* — the cross-product of
+substrates × models × methods × weight/activation bits × outlier formats ×
+group sizes × calibration modes, plus an independent ``archs`` hardware
+axis — and enumerates it into a list of :class:`Job`\\ s; (substrate,
+family) pairs the registries cannot build are skipped, so one sweep can
+span every workload class at once.
 
 A :class:`Job` is the atomic unit of work the executor dispatches and the
 cache keys on. Its identity is a stable SHA-256 over the canonical JSON of
@@ -75,6 +80,33 @@ def _method_spec(method: str):
     return get_method(method)
 
 
+def _plugin_versions(spec: "ExperimentSpec") -> Dict[str, str]:
+    """Spec-declared versions hashed into the job identity.
+
+    Builtins leave their ``version`` unset and ride ``repro.__version__``;
+    a plugin that stamps one gets its cache entries invalidated whenever the
+    version (i.e. its numerics) changes. Omitted versions contribute
+    nothing, so hashes stay stable for everything unversioned.
+    """
+    versions: Dict[str, str] = {}
+    if spec.arch is None and spec.method != FP_METHOD:
+        m = _method_spec(spec.method)
+        if m is not None and m.version is not None:
+            versions["method"] = str(m.version)
+    from ..core.substrate import SUBSTRATES
+
+    sub = SUBSTRATES.get(spec.substrate)
+    if sub is not None and sub.version is not None:
+        versions["substrate"] = str(sub.version)
+    if spec.arch is not None:
+        from ..hw import get_arch
+
+        arch = get_arch(spec.arch)
+        if arch.version is not None:
+            versions["arch"] = str(arch.version)
+    return versions
+
+
 def _canonical(obj: Any) -> Any:
     """Normalize to JSON-stable primitives (tuples → lists, sorted dicts)."""
     if isinstance(obj, dict):
@@ -110,6 +142,13 @@ class ExperimentSpec:
             the other substrates use fixed per-family evaluation bundles).
         eval_kwargs: substrate-specific evaluation knobs as a sorted item
             tuple (e.g. ``(("shots", 8),)`` for the VLM shot count).
+        arch: accelerator name from the :mod:`repro.hw` registry; when set,
+            this spec is a *hardware* job (the quantization/evaluation
+            fields are ignored and normalized out of the identity).
+        hw_kwargs: hardware knobs as a sorted item tuple — array dimensions,
+            streaming shape, design parameters — validated against the
+            simulator's :data:`~repro.hw.SIM_PARAMS` plus the arch's own
+            ``Param`` schema.
         label: free-form tag carried through to results (not hashed).
     """
 
@@ -125,10 +164,12 @@ class ExperimentSpec:
     eval_sequences: int = 32
     eval_seq_len: int = 32
     eval_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    arch: Optional[str] = None
+    hw_kwargs: Tuple[Tuple[str, Any], ...] = ()
     label: str = ""
 
     def __post_init__(self) -> None:
-        for ax in ("quant_kwargs", "eval_kwargs"):
+        for ax in ("quant_kwargs", "eval_kwargs", "hw_kwargs"):
             val = getattr(self, ax)
             if isinstance(val, dict):
                 object.__setattr__(self, ax, tuple(sorted(val.items())))
@@ -137,6 +178,22 @@ class ExperimentSpec:
             raise KeyError(
                 f"unknown calibration mode {self.calibration!r}; known: "
                 f"{', '.join(CALIBRATION_MODES)}"
+            )
+        if self.arch is not None:
+            # Hardware-job validation at spec-build time: unknown archs,
+            # parameters outside the arch + simulator schemas, unsupported
+            # arch × substrate pairs, and substrates with no hardware
+            # workload generator all fail here, before any job is hashed.
+            from ..hw import check_hw_kwargs, get_arch, workload_families
+
+            arch = get_arch(self.arch)  # raises KeyError on unknown arch
+            check_hw_kwargs(arch, dict(self.hw_kwargs))
+            arch.check_substrate(self.substrate)
+            workload_families(self.substrate)  # raises on uncovered substrate
+            return
+        if self.hw_kwargs:
+            raise ValueError(
+                "hw_kwargs only apply to hardware jobs; set arch= as well"
             )
         # Method-capability validation at spec-build time: an unknown method,
         # a parameter outside the method's schema, or an unsupported
@@ -156,25 +213,33 @@ class ExperimentSpec:
         Fields the kernel ignores are normalized away so equivalent
         experiments share one content hash — bit widths, quantizer kwargs,
         and the calibration mode under ``fp16``; the LM corpus shape on
-        substrates whose evaluation bundles are fixed per family. That is
-        what lets overlapping sweeps serve shared cells from cache.
+        substrates whose evaluation bundles are fixed per family; every
+        quantization/evaluation field on hardware jobs (the simulator reads
+        only ``arch`` + ``hw_kwargs``). That is what lets overlapping sweeps
+        serve shared cells from cache. Spec-declared plugin versions
+        (method/substrate/arch) hash in when present, so a version bump
+        invalidates exactly that plugin's cells.
         """
-        fp = self.method == FP_METHOD
-        corpus = _uses_corpus_shape(self.substrate)
+        hw = self.arch is not None
+        fp = hw or self.method == FP_METHOD
+        corpus = not hw and _uses_corpus_shape(self.substrate)
         return _canonical(
             {
                 "family": self.family,
                 "substrate": self.substrate,
-                "method": self.method,
+                "method": None if hw else self.method,
                 "w_bits": None if fp else self.w_bits,
                 "act_bits": None if fp else self.act_bits,
                 "quant_kwargs": {} if fp else dict(self.quant_kwargs),
                 "calibration": None if fp else self.calibration,
-                "kv_bits": self.kv_bits,
-                "kv_residual": self.kv_residual if self.kv_bits is not None else None,
+                "kv_bits": None if hw else self.kv_bits,
+                "kv_residual": self.kv_residual if not hw and self.kv_bits is not None else None,
                 "eval_sequences": self.eval_sequences if corpus else None,
                 "eval_seq_len": self.eval_seq_len if corpus else None,
-                "eval_kwargs": dict(self.eval_kwargs),
+                "eval_kwargs": {} if hw else dict(self.eval_kwargs),
+                "arch": self.arch,
+                "hw_kwargs": dict(self.hw_kwargs),
+                "plugin_versions": _plugin_versions(self),
             }
         )
 
@@ -192,12 +257,20 @@ class Job:
 
     @property
     def job_hash(self) -> str:
-        """Stable SHA-256 of (spec key, repro version, sweep seed)."""
+        """Stable SHA-256 of (spec key, repro version, sweep seed).
+
+        Hardware jobs normalize the seed away: the simulator is
+        deterministic and draws no randomness, so identical simulations
+        must share one cache cell across differently-seeded sweeps — the
+        same principle that drops ignored quantization fields from
+        :meth:`ExperimentSpec.key`.
+        """
         if self.version:
             version = self.version
         else:
             from .. import __version__ as version
-        payload = {"spec": self.spec.key(), "version": version, "seed": self.seed}
+        seed = None if self.spec.arch is not None else self.seed
+        payload = {"spec": self.spec.key(), "version": version, "seed": seed}
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -225,6 +298,11 @@ def describe(spec: ExperimentSpec) -> str:
     shape): two distinct settings in one sweep must never share a label,
     since the CLI pivot and ``SweepResult.by_label`` key on it.
     """
+    prefix = "" if spec.substrate == DEFAULT_SUBSTRATE else f"{spec.substrate}:"
+    if spec.arch is not None:
+        parts = [f"{k}={v}" for k, v in spec.hw_kwargs]
+        kwargs = f" [{','.join(parts)}]" if parts else ""
+        return f"{prefix}{spec.family}/{spec.arch}{kwargs}"
     if spec.method == FP_METHOD:
         setting = "W16A16"
     else:
@@ -248,7 +326,6 @@ def describe(spec: ExperimentSpec) -> str:
     ):
         parts.append(f"ev{spec.eval_sequences}x{spec.eval_seq_len}")
     kwargs = f" [{','.join(parts)}]" if parts else ""
-    prefix = "" if spec.substrate == DEFAULT_SUBSTRATE else f"{spec.substrate}:"
     return f"{prefix}{spec.family}/{spec.method} {setting}{extra}{kwargs}"
 
 
@@ -275,6 +352,15 @@ class SweepSpec:
     methods only. ``None`` in either axis means "method default" and
     attaches nothing. ``calibrations`` sweeps the engine's
     sequential-vs-parallel calibration ablation.
+
+    ``archs`` is the *hardware* axis: each named accelerator is paired with
+    every (substrate, family) combination the :mod:`repro.hw` workload
+    registry can build — an independent set of simulation jobs riding the
+    same cache and executors (the quantization axes don't cross into it);
+    ``hw_kwargs`` carries shared simulation knobs, schema-routed to the
+    archs that accept them. ``method_params`` / ``arch_params`` pin extra
+    schema-validated parameters on one method or arch by name (the CLI's
+    ``--param method.key=value`` form).
     """
 
     families: Tuple[str, ...]
@@ -286,6 +372,10 @@ class SweepSpec:
     outlier_formats: Tuple[Optional[str], ...] = (None,)
     calibrations: Tuple[str, ...] = ("sequential",)
     quant_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    archs: Tuple[Optional[str], ...] = (None,)
+    hw_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    method_params: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+    arch_params: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
     kv_bits: Optional[int] = None
     kv_residual: int = 128
     eval_sequences: int = 32
@@ -295,23 +385,56 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         for ax in ("families", "methods", "substrates", "w_bits", "act_bits",
-                   "group_sizes", "outlier_formats", "calibrations",
+                   "group_sizes", "outlier_formats", "calibrations", "archs",
                    "extra_specs"):
             val = getattr(self, ax)
             if not isinstance(val, tuple):
                 object.__setattr__(self, ax, tuple(val))
-        if isinstance(self.quant_kwargs, dict):
-            object.__setattr__(
-                self, "quant_kwargs", tuple(sorted(self.quant_kwargs.items()))
-            )
+        for ax in ("quant_kwargs", "hw_kwargs"):
+            if isinstance(getattr(self, ax), dict):
+                object.__setattr__(
+                    self, ax, tuple(sorted(getattr(self, ax).items()))
+                )
+        for ax in ("method_params", "arch_params"):
+            val = getattr(self, ax)
+            if isinstance(val, dict):
+                val = tuple(
+                    (name, tuple(sorted(dict(kw).items())))
+                    for name, kw in sorted(val.items())
+                )
+            else:
+                val = tuple(
+                    (name, tuple(sorted(dict(kw).items()))) for name, kw in val
+                )
+            object.__setattr__(self, ax, val)
         from ..core.substrate import get_substrate, substrate_families
 
+        swept_arch_names = [a for a in self.archs if a is not None]
         fam_universe: set = set()
+        hw_only_subs: List[str] = []
         for sub in self.substrates:
-            get_substrate(sub)  # raises with the known list on miss
+            try:
+                get_substrate(sub)  # raises with the known list on miss
+            except KeyError:
+                # Substrates with only a hardware workload generator (the
+                # `gemm` probe class) are valid when an archs axis is swept.
+                from ..hw import HW_WORKLOADS
+
+                if sub in HW_WORKLOADS and swept_arch_names:
+                    hw_only_subs.append(sub)
+                    continue
+                raise
             fam_universe.update(substrate_families(sub))
+        if hw_only_subs:
+            from ..hw import can_build_workload
+
+            def _hw_family_ok(fam: str) -> bool:
+                return any(can_build_workload(s, fam) for s in hw_only_subs)
+        else:
+            def _hw_family_ok(fam: str) -> bool:
+                return False
         for fam in self.families:
-            if fam not in fam_universe:
+            if fam not in fam_universe and not _hw_family_ok(fam):
                 known = ", ".join(sorted(fam_universe))
                 raise KeyError(
                     f"unknown family {fam!r} for substrates "
@@ -344,6 +467,45 @@ class SweepSpec:
                     f"unknown calibration mode {c!r}; known: "
                     f"{', '.join(CALIBRATION_MODES)}"
                 )
+        swept_archs = [a for a in self.archs if a is not None]
+        if swept_archs or self.arch_params or self.hw_kwargs:
+            from ..hw import SIM_PARAMS, get_arch
+
+            arch_specs = {a: get_arch(a) for a in swept_archs}  # raises on miss
+            if self.hw_kwargs and not swept_archs:
+                raise KeyError("hw_kwargs given but no archs are swept")
+            sim_keys = {p.name for p in SIM_PARAMS}
+            for key, _ in self.hw_kwargs:
+                # Like quant_kwargs: schema-routed, but a key no swept arch
+                # (nor the simulator) accepts is a typo, not a no-op.
+                if key not in sim_keys and not any(
+                    key in a.param_schema() for a in arch_specs.values()
+                ):
+                    raise KeyError(
+                        f"hw_kwargs key {key!r} is not a simulation parameter "
+                        f"or a parameter of any swept arch "
+                        f"({', '.join(swept_archs)})"
+                    )
+            for name, kw in self.arch_params:
+                if name not in arch_specs:
+                    raise KeyError(
+                        f"arch_params name {name!r} is not a swept arch "
+                        f"({', '.join(swept_archs) or 'none'})"
+                    )
+                from ..hw import check_hw_kwargs
+
+                check_hw_kwargs(arch_specs[name], dict(kw))
+        for name, kw in self.method_params:
+            if name not in self.methods:
+                raise KeyError(
+                    f"method_params name {name!r} is not a swept method "
+                    f"({', '.join(self.methods) or 'none'})"
+                )
+            m_spec = _method_spec(name)
+            if m_spec is not None:
+                m_spec.validate_params(dict(kw))
+            elif kw:
+                raise KeyError("the fp16 reference takes no method parameters")
 
     def specs(self) -> List[ExperimentSpec]:
         """Enumerate the grid (plus ``extra_specs``), de-duplicated.
@@ -351,9 +513,15 @@ class SweepSpec:
         (substrate, family) pairs the registry cannot build are skipped, so
         mixed-substrate sweeps enumerate exactly the valid combinations.
         """
-        from ..core.substrate import substrate_families
+        from ..core.substrate import SUBSTRATES, substrate_families
 
-        sub_families = {s: set(substrate_families(s)) for s in self.substrates}
+        # Hardware-only workload substrates (not in the accuracy registry)
+        # contribute no quantization cells; the hw axis resolves them.
+        sub_families = {
+            s: set(substrate_families(s)) if s in SUBSTRATES else None
+            for s in self.substrates
+        }
+        per_method = dict(self.method_params)
         out: List[ExperimentSpec] = []
         seen = set()
         grid = itertools.product(
@@ -362,7 +530,7 @@ class SweepSpec:
             self.calibrations,
         )
         for sub, fam, method, wb, ab, gs, ofmt, cal in grid:
-            if fam not in sub_families[sub]:
+            if sub_families[sub] is None or fam not in sub_families[sub]:
                 continue
             spec_obj = _method_spec(method)
             if spec_obj is not None and not spec_obj.supports_substrate(sub):
@@ -375,6 +543,7 @@ class SweepSpec:
                 kw.update(_group_kwargs(method, gs))
                 if ofmt is not None and "outlier_format" in schema:
                     kw["outlier_format"] = ofmt
+                kw.update(dict(per_method.get(method, ())))
             spec = ExperimentSpec(
                 family=fam,
                 substrate=sub,
@@ -392,11 +561,53 @@ class SweepSpec:
             if k not in seen:
                 seen.add(k)
                 out.append(spec)
+        out.extend(self._hw_specs(sub_families, seen))
         for spec in self.extra_specs:
             k = json.dumps(spec.key(), sort_keys=True)
             if k not in seen:
                 seen.add(k)
                 out.append(spec)
+        return out
+
+    def _hw_specs(self, sub_families, seen) -> List[ExperimentSpec]:
+        """The hardware axis: one simulation job per valid
+        (substrate, family, arch) triple; pairs without a hardware workload
+        or outside an arch's substrate support are skipped like unbuildable
+        families."""
+        swept = [a for a in self.archs if a is not None]
+        if not swept:
+            return []
+        from ..hw import SIM_PARAMS, can_build_workload, get_arch
+
+        sim_keys = {p.name for p in SIM_PARAMS}
+        per_arch = dict(self.arch_params)
+        out: List[ExperimentSpec] = []
+        for sub in self.substrates:
+            for fam in self.families:
+                if not can_build_workload(sub, fam):
+                    continue
+                # Accuracy-registry substrates keep their family universe;
+                # hardware-only ones (sub_families None) accept whatever the
+                # workload factory can build (pattern families like gemm's).
+                if sub_families[sub] is not None and fam not in sub_families[sub]:
+                    continue
+                for name in swept:
+                    arch = get_arch(name)
+                    if not arch.supports_substrate(sub):
+                        continue
+                    schema = set(arch.param_schema()) | sim_keys
+                    kw = {k: v for k, v in self.hw_kwargs if k in schema}
+                    kw.update(dict(per_arch.get(name, ())))
+                    spec = ExperimentSpec(
+                        family=fam,
+                        substrate=sub,
+                        arch=name,
+                        hw_kwargs=tuple(sorted(kw.items())),
+                    )
+                    k = json.dumps(spec.key(), sort_keys=True)
+                    if k not in seen:
+                        seen.add(k)
+                        out.append(spec)
         return out
 
     def jobs(self, version: str = "") -> List[Job]:

@@ -1,13 +1,17 @@
-"""Entry-point discovery of third-party methods and substrates.
+"""Entry-point discovery of third-party methods, substrates, and archs.
 
-Two extension surfaces, mirroring the two registries:
+Three extension surfaces, mirroring the three registries:
 
 * the ``repro.methods`` entry-point group — each entry resolves to a
   :class:`~repro.methods.MethodSpec` (or a callable returning one / an
   iterable of them), registered into :data:`repro.methods.METHODS`;
 * the ``repro.substrates`` group — likewise for
   :class:`~repro.core.substrate.SubstrateSpec` into
-  :data:`~repro.core.substrate.SUBSTRATES`.
+  :data:`~repro.core.substrate.SUBSTRATES`;
+* the ``repro.hw`` group — likewise for
+  :class:`~repro.hw.HwArchSpec` into :data:`repro.hw.ARCHS`, so
+  third-party accelerator designs load (and sweep, and cache) like methods
+  and substrates.
 
 Beyond installed-distribution entry points, the ``REPRO_PLUGINS``
 environment variable names additional plugin objects as comma-separated
@@ -34,6 +38,7 @@ from typing import Any, Iterable, List, Optional
 
 __all__ = [
     "ENV_VAR",
+    "HW_GROUP",
     "METHOD_GROUP",
     "SUBSTRATE_GROUP",
     "PluginRecord",
@@ -43,6 +48,7 @@ __all__ = [
 
 METHOD_GROUP = "repro.methods"
 SUBSTRATE_GROUP = "repro.substrates"
+HW_GROUP = "repro.hw"
 ENV_VAR = "REPRO_PLUGINS"
 
 _loaded: Optional[List["PluginRecord"]] = None
@@ -67,20 +73,23 @@ class PluginRecord:
 def _register_object(obj: Any, record: PluginRecord) -> None:
     """Register one resolved plugin object (spec, callable, or iterable)."""
     from .core.substrate import SubstrateSpec, register_substrate
+    from .hw import HwArchSpec, register_arch
     from .methods import MethodSpec, register_method
 
-    if callable(obj) and not isinstance(obj, (MethodSpec, SubstrateSpec)):
+    spec_types = (MethodSpec, SubstrateSpec, HwArchSpec)
+    if callable(obj) and not isinstance(obj, spec_types):
         obj = obj()
     if obj is None:
         return
-    if isinstance(obj, (MethodSpec, SubstrateSpec)):
+    if isinstance(obj, spec_types):
         items: Iterable[Any] = (obj,)
     elif isinstance(obj, Iterable):
         items = list(obj)
     else:
         raise TypeError(
-            f"plugin object must be a MethodSpec, SubstrateSpec, a callable "
-            f"returning them, or an iterable of them; got {type(obj).__name__}"
+            f"plugin object must be a MethodSpec, SubstrateSpec, HwArchSpec, "
+            f"a callable returning them, or an iterable of them; got "
+            f"{type(obj).__name__}"
         )
     for item in items:
         if isinstance(item, MethodSpec):
@@ -93,10 +102,16 @@ def _register_object(obj: Any, record: PluginRecord) -> None:
             register_substrate(item)
             record.kinds.append("substrate")
             record.registered.append(item.name)
+        elif isinstance(item, HwArchSpec):
+            if item.source == "builtin":
+                item = replace(item, source=record.source)
+            register_arch(item)
+            record.kinds.append("arch")
+            record.registered.append(item.name)
         else:
             raise TypeError(
                 f"plugin iterable contained {type(item).__name__}; expected "
-                "MethodSpec or SubstrateSpec"
+                "MethodSpec, SubstrateSpec, or HwArchSpec"
             )
 
 
@@ -109,7 +124,7 @@ def _entry_points(group: str):
 
 
 def _load_entry_points(records: List[PluginRecord]) -> None:
-    for group in (METHOD_GROUP, SUBSTRATE_GROUP):
+    for group in (METHOD_GROUP, SUBSTRATE_GROUP, HW_GROUP):
         for ep in _entry_points(group):
             dist = getattr(getattr(ep, "dist", None), "name", "?")
             record = PluginRecord(source=f"entry-point:{dist}", name=ep.name)
