@@ -4,22 +4,36 @@ Paper shape: MicroScopiQ v1 (W4A4) and v2 (WxA4) beat every baseline
 accelerator on latency (avg 1.50x / 2.47x) and v2 has the lowest energy
 (~1.5x below baselines); GOBO is the slowest / most energy-hungry.
 
-The *iso-accuracy* premise itself — that the baseline architectures must run
-at richer precision mixes (OliVe 50% 8-bit, ANT 25% 8-bit, GOBO's 15.6-bit
+Both halves of the figure run on the pipeline. The latency/energy half is
+one cached hardware sweep over the ``archs`` axis (every systolic design ×
+every model, decode-dominated streaming via ``hw_kwargs``), pivoted
+per-arch on ``energy_nj``/``cycles`` through
+:meth:`~repro.pipeline.SweepResult.pivot`; golden equality against the
+direct :func:`simulate_arch_inference` path is asserted cell by cell. The
+*iso-accuracy* premise itself — that the baseline architectures must run at
+richer precision mixes (OliVe 50% 8-bit, ANT 25% 8-bit, GOBO's 15.6-bit
 EBW) to match MicroScopiQ's W4 quality, which is exactly what their
 ``ArchSpec`` configurations encode — is verified by an
 :class:`~repro.pipeline.ExperimentSpec` accuracy sweep through the session's
-content-addressed cache (the same cells Table 2 shares), not by direct
-``quantize_model`` calls."""
+content-addressed cache (the same cells Table 2 shares)."""
 
 import numpy as np
 import pytest
 
-from repro.accelerator import ARCHS, GEOMETRIES, simulate_arch_inference
-from repro.pipeline import ExperimentSpec
-from benchmarks.conftest import print_table
+from repro.hw import ARCHS, GEOMETRIES, simulate_arch_inference
+from repro.pipeline import ExperimentSpec, SweepSpec, run_sweep
+from benchmarks.conftest import print_table, run_hw_sweep
 
 MODELS = ["opt-6.7b", "llama2-7b", "llama3-8b", "vila-7b"]
+SYSTOLIC = [a for a in ARCHS if ARCHS[a].kind == "systolic"]
+
+# The figure's decode-dominated streaming shape (one prompt token, 32
+# generated), as pipeline hardware knobs.
+HW_KW = (("decode_tokens", 32), ("prefill", 1))
+
+# vila-7b is a VLM family: its hardware workload resolves through the vlm
+# generator (same published geometry, same transformer streaming).
+_SUBSTRATE = {"vila-7b": "vlm", "llava1.5-7b": "vlm"}
 
 # The W4 operating points behind the iso-accuracy framing (LM families —
 # VILA's caption metric lives in Fig. 10's sweep).
@@ -27,40 +41,55 @@ ISO_FAMILIES = ["opt-6.7b", "llama2-7b", "llama3-8b"]
 ISO_METHODS = ["microscopiq", "olive", "gobo"]
 
 
-def compute():
-    res = {}
-    for model in MODELS:
-        geom = GEOMETRIES[model]
-        for arch in ARCHS:
-            res[(model, arch)] = simulate_arch_inference(
-                arch, geom, prefill=1, decode_tokens=32
-            )
-    return res
+def _hw_specs():
+    return {
+        (model, arch): ExperimentSpec(
+            family=model,
+            substrate=_SUBSTRATE.get(model, "lm"),
+            arch=arch,
+            hw_kwargs=HW_KW,
+        )
+        for model in MODELS
+        for arch in SYSTOLIC
+    }
+
+
+def compute(cache_dir):
+    specs = _hw_specs()
+    result = run_hw_sweep(list(specs.values()), cache_dir)
+    res = {key: result[spec] for key, spec in specs.items()}
+    pivots = {
+        metric: result.pivot("family", "arch", metric=metric)
+        for metric in ("energy_nj", "cycles")
+    }
+    return res, pivots
 
 
 @pytest.mark.benchmark(group="fig12")
-def test_fig12_iso_accuracy(benchmark):
-    res = benchmark.pedantic(compute, rounds=1, iterations=1)
-    baselines = [a for a in ARCHS if not a.startswith("microscopiq")]
+def test_fig12_iso_accuracy(benchmark, hw_cache):
+    res, pivots = benchmark.pedantic(
+        compute, args=(hw_cache,), rounds=1, iterations=1
+    )
+    baselines = [a for a in SYSTOLIC if not a.startswith("microscopiq")]
     rows = []
     speedups_v1, speedups_v2, energy_ratio = [], [], []
     for model in MODELS:
-        base_lat = np.mean([res[(model, a)].cycles for a in baselines])
-        base_en = np.mean([res[(model, a)].energy.total_nj for a in baselines])
-        v1 = res[(model, "microscopiq-v1")]
-        v2 = res[(model, "microscopiq-v2")]
-        speedups_v1.append(base_lat / v1.cycles)
-        speedups_v2.append(base_lat / v2.cycles)
-        energy_ratio.append(base_en / v2.energy.total_nj)
-        for arch in ARCHS:
-            r = res[(model, arch)]
+        # The per-arch pivots are the figure's data layout: one row per
+        # model, one latency/energy column per accelerator.
+        lat, en = pivots["cycles"][model], pivots["energy_nj"][model]
+        base_lat = np.mean([lat[a] for a in baselines])
+        base_en = np.mean([en[a] for a in baselines])
+        speedups_v1.append(base_lat / lat["microscopiq-v1"])
+        speedups_v2.append(base_lat / lat["microscopiq-v2"])
+        energy_ratio.append(base_en / en["microscopiq-v2"])
+        for arch in SYSTOLIC:
             rows.append(
                 [
                     model,
                     arch,
-                    f"{r.cycles / v2.cycles:.2f}",
-                    f"{r.energy.total_nj / v2.energy.total_nj:.2f}",
-                    f"{r.stats.conflict_pct:.2f}",
+                    f"{lat[arch] / lat['microscopiq-v2']:.2f}",
+                    f"{en[arch] / en['microscopiq-v2']:.2f}",
+                    f"{res[(model, arch)]['conflict_pct']:.2f}",
                 ]
             )
     print_table(
@@ -78,9 +107,17 @@ def test_fig12_iso_accuracy(benchmark):
     assert np.mean(speedups_v2) > np.mean(speedups_v1)
     assert np.mean(energy_ratio) > 1.3
     for model in MODELS:
-        lats = {a: res[(model, a)].cycles for a in ARCHS}
+        lats = pivots["cycles"][model]
         assert min(lats, key=lats.get) == "microscopiq-v2"
         assert max(lats, key=lats.get) == "gobo"
+    # Golden: every pipeline hardware cell == the direct simulator call.
+    for (model, arch), metrics in res.items():
+        direct = simulate_arch_inference(
+            arch, GEOMETRIES[model], prefill=1, decode_tokens=32
+        )
+        assert metrics["cycles"] == direct.cycles
+        assert metrics["energy_nj"] == direct.energy.total_nj
+        assert metrics["conflict_pct"] == direct.stats.conflict_pct
 
 
 def _iso_specs():
@@ -129,18 +166,29 @@ def test_fig12_iso_accuracy_premise(benchmark, ppl_cache):
 
 
 @pytest.mark.benchmark(group="fig12")
-def test_fig12_power_breakdown(benchmark):
+def test_fig12_power_breakdown(benchmark, hw_cache):
     """§7.5 power breakdown: outlier-rich VILA spends a larger ReCoN share
-    than LLaMA-2-7B."""
+    than LLaMA-2-7B — read off the same pipeline-cached hardware cells as
+    the main figure (``recon_values`` / ``energy_nj`` metrics)."""
 
     def shares():
-        out = {}
-        for model in ("llama2-7b", "vila-7b"):
-            r = simulate_arch_inference(
-                "microscopiq-v2", GEOMETRIES[model], prefill=1, decode_tokens=32
+        specs = {
+            model: ExperimentSpec(
+                family=model,
+                substrate=_SUBSTRATE.get(model, "lm"),
+                arch="microscopiq-v2",
+                hw_kwargs=HW_KW,
             )
-            recon_nj = r.stats.recon_values * 0.004 / 1e3
-            out[model] = recon_nj / r.energy.total_nj
+            for model in ("llama2-7b", "vila-7b")
+        }
+        result = run_sweep(
+            SweepSpec.from_specs(specs.values()), cache_dir=hw_cache
+        )
+        out = {}
+        for model, spec in specs.items():
+            metrics = result[spec]
+            recon_nj = metrics["recon_values"] * 0.004 / 1e3
+            out[model] = recon_nj / metrics["energy_nj"]
         return out
 
     s = benchmark.pedantic(shares, rounds=1, iterations=1)

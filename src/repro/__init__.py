@@ -49,7 +49,7 @@ from .core import (
 )
 from .methods import MethodSpec, get_method, register_method
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MethodSpec",

@@ -101,6 +101,23 @@ def evaluate_setting(
         metrics["w_bits"] = w_bits
         metrics["act_bits"] = act_bits
         metrics["mean_ebw"] = report.mean_ebw
+        if report.layer_packed:
+            # Measured per-layer structure, lifted via LayerSpec.from_packed:
+            # the co-design quant stage. Riding the ordinary accuracy metrics
+            # (JSON-able, a handful of floats per layer) is what lets an
+            # accuracy sweep and a codesign sweep over the same settings
+            # share this job's cache cell as the expensive stage.
+            metrics["layers"] = {
+                name: {
+                    "d_out": ls.d_out,
+                    "d_in": ls.d_in,
+                    "bit_budget": ls.bit_budget,
+                    "micro_block": ls.micro_block,
+                    "ebw": ls.ebw,
+                    "outlier_ub_fraction": ls.outlier_ub_fraction,
+                }
+                for name, ls in report.layer_specs().items()
+            }
 
     if kv_bits is not None:
         if substrate != "lm":

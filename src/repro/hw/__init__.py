@@ -61,7 +61,15 @@ from .pe import (
     pe_multiply_2b,
     pe_multiply_4b,
 )
-from .sim import SIM_PARAMS, NativePhase, SimReport, check_hw_kwargs, run_hw_job, simulate
+from .sim import (
+    SIM_PARAMS,
+    NativePhase,
+    SimReport,
+    check_hw_kwargs,
+    run_hw_job,
+    run_measured_hw_job,
+    simulate,
+)
 from .systolic import GemmStats, recon_contention, simulate_gemm, simulate_layers
 from .workloads import (
     GEOMETRIES,
@@ -70,6 +78,7 @@ from .workloads import (
     GemmWorkload,
     HwWorkload,
     LayerWork,
+    MeasuredWorkload,
     ModelGeometry,
     SsmWorkload,
     Stream,
@@ -78,8 +87,10 @@ from .workloads import (
     build_workload,
     can_build_workload,
     layer_specs,
+    measured_workload,
     register_workload,
     workload_families,
+    workload_shape_params,
     workload_substrates,
 )
 
@@ -105,6 +116,7 @@ __all__ = [
     "InferenceResult",
     "LayerSpec",
     "LayerWork",
+    "MeasuredWorkload",
     "ModelGeometry",
     "MultiPrecisionPE",
     "NativePhase",
@@ -131,6 +143,7 @@ __all__ = [
     "known_arch_names",
     "layer_specs",
     "mapping",
+    "measured_workload",
     "merge_halves",
     "microscopiq_area",
     "noc",
@@ -143,6 +156,7 @@ __all__ = [
     "register_arch",
     "register_workload",
     "run_hw_job",
+    "run_measured_hw_job",
     "simulate",
     "simulate_arch_inference",
     "simulate_gemm",
@@ -151,6 +165,7 @@ __all__ = [
     "systolic",
     "total_accelerator_area",
     "workload_families",
+    "workload_shape_params",
     "workload_substrates",
     "workloads",
 ]

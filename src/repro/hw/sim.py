@@ -39,6 +39,7 @@ __all__ = [
     "SimReport",
     "check_hw_kwargs",
     "run_hw_job",
+    "run_measured_hw_job",
     "simulate",
 ]
 
@@ -172,6 +173,7 @@ class SimReport:
                 sram_bits=st.sram_bits,
                 recon_accesses=st.recon_accesses,
                 recon_conflicts=st.recon_conflicts,
+                recon_values=st.recon_values,
                 conflict_pct=st.conflict_pct,
             )
         if self.energy is not None:
@@ -361,22 +363,14 @@ def simulate(
 # ------------------------------------------------------------ pipeline glue --
 
 
-def run_hw_job(
-    substrate: str, family: str, arch_name: str, hw_kwargs: Dict[str, Any]
-) -> Dict[str, Any]:
-    """The pipeline's hardware job kernel: spec fields in, flat metrics out.
-
-    A pure function of its arguments (the simulator is deterministic), so
-    hardware jobs are cacheable by content hash and bit-identical across
-    serial, thread, and process executors.
-    """
+def _hw_call(substrate: str, arch_name: str, hw_kwargs: Dict[str, Any]):
+    """Shared job setup: validated knobs → (arch, shape, cfg, simulate kwargs)."""
     arch = get_arch(arch_name)
     kwargs = check_hw_kwargs(arch, dict(hw_kwargs))
     arch.check_substrate(substrate)
 
     def knob(key: str) -> Any:
-        value = kwargs.get(key, _SIM_SCHEMA[key].default)
-        return value
+        return kwargs.get(key, _SIM_SCHEMA[key].default)
 
     # Design-specific knobs (the arch's own Param schema, defaults applied)
     # are forwarded to the area builder; `n_recon` additionally sets the
@@ -386,7 +380,6 @@ def run_hw_job(
     n_recon = arch_knobs.get("n_recon", 1)
 
     shape = {k: knob(k) for k in _SHAPE_KEYS}
-    workload = build_workload(substrate, family, **shape)
     cfg = AcceleratorConfig(
         rows=knob("rows"),
         cols=knob("cols"),
@@ -396,13 +389,76 @@ def run_hw_job(
         freq_ghz=float(knob("freq_ghz")),
     )
     buffer_kb = knob("buffer_kb")
-    report = simulate(
-        arch,
-        workload,
-        cfg,
+    sim_kwargs = dict(
         arch_knobs=arch_knobs,
         native_bit_budget=shape["bit_budget"],
         buffer_kb=None if buffer_kb is None else float(buffer_kb),
         l2_kb=float(knob("l2_kb")),
     )
-    return report.metrics()
+    return arch, shape, cfg, sim_kwargs
+
+
+def run_hw_job(
+    substrate: str, family: str, arch_name: str, hw_kwargs: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The pipeline's hardware job kernel: spec fields in, flat metrics out.
+
+    A pure function of its arguments (the simulator is deterministic), so
+    hardware jobs are cacheable by content hash and bit-identical across
+    serial, thread, and process executors.
+    """
+    arch, shape, cfg, sim_kwargs = _hw_call(substrate, arch_name, hw_kwargs)
+    workload = build_workload(substrate, family, **shape)
+    return simulate(arch, workload, cfg, **sim_kwargs).metrics()
+
+
+def run_measured_hw_job(
+    substrate: str,
+    family: str,
+    arch_name: str,
+    hw_kwargs: Dict[str, Any],
+    layers: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """The co-design pipeline's hardware stage: simulate on *measured* stats.
+
+    ``layers`` is the quant stage's per-layer lift (geometry, EBW, and the
+    measured ``outlier_ub_fraction`` of each quantized matrix — what
+    :func:`~repro.eval.harness.evaluate_setting` exports for packed-layer
+    methods). The (substrate, family) base workload supplies streaming and
+    full-size geometry; :class:`~repro.hw.workloads.MeasuredWorkload`
+    substitutes the measured outlier structure for the iid per-family rates,
+    so latency / energy / EBW come from the same quantization the accuracy
+    metrics did. Pure and deterministic like :func:`run_hw_job`; metrics
+    additionally carry the measured-vs-iid lift summary.
+    """
+    from .workloads import MeasuredWorkload
+
+    arch, shape, cfg, sim_kwargs = _hw_call(substrate, arch_name, hw_kwargs)
+    base = build_workload(substrate, family, **shape)
+    # Outlier-aware (ReCoN) archs store outliers in the measured μB
+    # structure, so their EBW follows the lift; fixed-format archs keep
+    # their per-tier stored bits/weight (GPU cost models read neither).
+    workload = MeasuredWorkload.from_layer_stats(
+        base, layers, use_measured_ebw=getattr(arch, "uses_recon", True)
+    )
+    metrics = simulate(arch, workload, cfg, **sim_kwargs).metrics()
+
+    measured = dict(workload.roles)
+    matched = [
+        u.spec.outlier_ub_fraction
+        for u in base.units(shape["bit_budget"])
+        if MeasuredWorkload.role_of(u.spec.name) in measured
+    ]
+    metrics["measured_outlier_ub_fraction"] = (
+        sum(f for f, _ in measured.values()) / len(measured) if measured else 0.0
+    )
+    metrics["iid_outlier_ub_fraction"] = (
+        sum(matched) / len(matched) if matched else 0.0
+    )
+    metrics["measured_mean_ebw"] = (
+        sum(float(st["ebw"]) for st in layers.values()) / len(layers)
+        if layers
+        else 0.0
+    )
+    metrics["measured_roles"] = {role: f for role, (f, _) in measured.items()}
+    return metrics

@@ -40,6 +40,7 @@ __all__ = [
     "GemmWorkload",
     "HwWorkload",
     "LayerWork",
+    "MeasuredWorkload",
     "ModelGeometry",
     "SsmWorkload",
     "Stream",
@@ -47,8 +48,10 @@ __all__ = [
     "WorkloadFactory",
     "build_workload",
     "layer_specs",
+    "measured_workload",
     "register_workload",
     "workload_families",
+    "workload_shape_params",
     "workload_substrates",
 ]
 
@@ -338,16 +341,151 @@ class GemmWorkload:
         return [LayerWork(spec, (Stream("batch", self.batch),))]
 
 
+# ------------------------------------------------------- measured workloads --
+
+
+@dataclass(frozen=True)
+class MeasuredWorkload:
+    """A workload whose outlier structure is *measured*, not assumed iid.
+
+    Wraps a substrate's base workload (which supplies the full-size layer
+    geometry and streaming patterns) and replaces each layer's
+    ``outlier_ub_fraction`` / ``micro_block`` / EBW with statistics lifted
+    from an actually-quantized model — the per-role aggregation of
+    :meth:`~repro.hw.mapping.LayerSpec.from_packed` over the quant stage's
+    :class:`~repro.quant.packed.PackedLayer`\\ s. This is the co-design
+    closure: the same quantized weights that produced the accuracy metrics
+    drive ReCoN demand and memory traffic, instead of the per-family iid
+    ``outlier_fraction`` the synthetic workloads assume.
+
+    Outlier rates and EBW are per-weight quantities, so they transfer from
+    the scaled-down accuracy models to the published full-size geometries;
+    layers are matched by *role* — the last dotted name component
+    (``layers.0.wq`` → ``wq`` → ``opt-6.7b.wq``), averaging measured rates
+    across the accuracy model's block instances.
+
+    ``use_measured_ebw`` decides what an arch-forced ``ebw`` override (an
+    arch's per-tier stored bits/weight) means for measured roles. Outlier-
+    aware (ReCoN) designs store outliers in the μB structure the lift
+    measured, so their EBW follows the lift: recomputed from the measured
+    μB fraction at each simulated tier (the Eq. 4 form is linear in the
+    fraction, so the per-role mean is exact). Fixed-format designs (GOBO's
+    15.6 bits, OLAccel's 4.15) store every weight at a format-determined
+    width no measurement can change — their override is honored, exactly
+    as the iid workloads honor it.
+    """
+
+    base: HwWorkload
+    # role -> (outlier_ub_fraction, micro_block), sorted tuple form so the
+    # workload stays hashable like its peers.
+    roles: Tuple[Tuple[str, Tuple[float, int]], ...]
+    use_measured_ebw: bool = True
+
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    @property
+    def substrate(self) -> str:
+        return self.base.substrate
+
+    @property
+    def geometry(self):
+        """Forward the base transformer geometry (GPU cost models read it)."""
+        return getattr(self.base, "geometry", None)
+
+    @staticmethod
+    def role_of(layer_name: str) -> str:
+        return layer_name.rsplit(".", 1)[-1]
+
+    @classmethod
+    def from_layer_stats(
+        cls,
+        base: HwWorkload,
+        layers: Dict[str, Dict[str, float]],
+        use_measured_ebw: bool = True,
+    ) -> "MeasuredWorkload":
+        """Aggregate measured per-layer stats (the quant stage's ``layers``
+        metrics: ``{name: {outlier_ub_fraction, micro_block, ...}}``) into
+        per-role means and bind them to ``base``."""
+        by_role: Dict[str, List[Tuple[float, int]]] = {}
+        for name, st in layers.items():
+            by_role.setdefault(cls.role_of(name), []).append(
+                (float(st["outlier_ub_fraction"]), int(st["micro_block"]))
+            )
+        roles = tuple(
+            (role, (sum(f for f, _ in vals) / len(vals), vals[0][1]))
+            for role, vals in sorted(by_role.items())
+        )
+        return cls(base=base, roles=roles, use_measured_ebw=use_measured_ebw)
+
+    def units(self, bit_budget: int, ebw: Optional[float] = None) -> List[LayerWork]:
+        from ..formats.ebw import ebw_inlier, ebw_outlier
+
+        measured = dict(self.roles)
+        out: List[LayerWork] = []
+        for unit in self.base.units(bit_budget, ebw=ebw):
+            st = measured.get(self.role_of(unit.spec.name))
+            if st is None:
+                # Roles the quantized model doesn't have keep the base
+                # workload's iid assumption (there is nothing measured).
+                out.append(unit)
+                continue
+            ub_frac, micro_block = st
+            spec = unit.spec
+            if ebw is not None and not self.use_measured_ebw:
+                # Fixed-format arch: stored bits/weight is a format
+                # property, honored like the iid workloads honor it.
+                m_ebw = float(ebw)
+            else:
+                m_ebw = ub_frac * ebw_outlier(bit_budget, micro_block) + (
+                    1.0 - ub_frac
+                ) * ebw_inlier(bit_budget)
+            out.append(
+                LayerWork(
+                    LayerSpec(
+                        spec.name, spec.d_out, spec.d_in, bit_budget,
+                        float(m_ebw), float(ub_frac), micro_block, spec.count,
+                    ),
+                    unit.streams,
+                )
+            )
+        return out
+
+
+def measured_workload(
+    substrate: str,
+    family: str,
+    layers: Dict[str, Dict[str, float]],
+    use_measured_ebw: bool = True,
+    **shape,
+) -> MeasuredWorkload:
+    """Build the measured hardware workload of one quantized model: the
+    (substrate, family) base workload with ``layers`` statistics lifted onto
+    it (see :class:`MeasuredWorkload`)."""
+    return MeasuredWorkload.from_layer_stats(
+        build_workload(substrate, family, **shape), layers,
+        use_measured_ebw=use_measured_ebw,
+    )
+
+
 # ------------------------------------------------------------- the registry --
 
 
 @dataclass(frozen=True)
 class WorkloadFactory:
-    """How one substrate's families become hardware workloads."""
+    """How one substrate's families become hardware workloads.
+
+    ``shape_params`` names the streaming knobs this substrate's ``build``
+    actually consumes (the rest are ignored) — it is what lets the pipeline
+    normalize grid axes like ``prefill``/``batch`` out of job identities for
+    substrates whose kernels ignore them.
+    """
 
     substrate: str
     families: Callable[[], Tuple[str, ...]]
     build: Callable[..., HwWorkload]  # (family, **shape kwargs) -> workload
+    shape_params: Tuple[str, ...] = ()
 
 
 def _transformer_families(substrate_families: Callable[[], Tuple[str, ...]]):
@@ -439,19 +577,37 @@ def register_workload(factory: WorkloadFactory) -> WorkloadFactory:
 
 
 register_workload(
-    WorkloadFactory("lm", _transformer_families(_lm_families), _build_transformer("lm"))
+    WorkloadFactory(
+        "lm", _transformer_families(_lm_families), _build_transformer("lm"),
+        shape_params=("prefill", "decode_tokens"),
+    )
 )
 register_workload(
-    WorkloadFactory("vlm", _transformer_families(_vlm_families), _build_transformer("vlm"))
+    WorkloadFactory(
+        "vlm", _transformer_families(_vlm_families), _build_transformer("vlm"),
+        shape_params=("prefill", "decode_tokens"),
+    )
 )
-register_workload(WorkloadFactory("cnn", _cnn_families, _build_cnn))
-register_workload(WorkloadFactory("ssm", _ssm_families, _build_ssm))
-register_workload(WorkloadFactory("gemm", _gemm_families, _build_gemm))
+register_workload(WorkloadFactory("cnn", _cnn_families, _build_cnn, shape_params=("batch",)))
+register_workload(WorkloadFactory("ssm", _ssm_families, _build_ssm, shape_params=("batch",)))
+register_workload(
+    WorkloadFactory(
+        "gemm", _gemm_families, _build_gemm,
+        shape_params=("batch", "bit_budget", "outlier_fraction"),
+    )
+)
 
 
 def workload_substrates() -> Tuple[str, ...]:
     """Substrates with a registered hardware workload generator."""
     return tuple(sorted(HW_WORKLOADS))
+
+
+def workload_shape_params(substrate: str) -> Tuple[str, ...]:
+    """The streaming knobs ``substrate``'s workload generator consumes
+    (empty for unknown substrates — the caller's validation reports those)."""
+    factory = HW_WORKLOADS.get(substrate)
+    return factory.shape_params if factory is not None else ()
 
 
 def workload_families(substrate: str) -> Tuple[str, ...]:

@@ -156,6 +156,7 @@ def builtin_method_specs() -> tuple:
         needs_hessian=True,
         hessian_with_act=False,  # α migration rescales the calibration inputs
         act_aware=True,
+        exports_packed=True,  # meta["packed"] PackedLayers feed codesign jobs
         group_param="macro_block",
     )
     return (

@@ -177,6 +177,12 @@ class MethodSpec:
         group_param: keyword the sweep's ``group_sizes`` axis binds to
             (``"group_size"``, ``"macro_block"``, or ``None`` for methods
             with no group knob).
+        exports_packed: quantize_layer results carry a structural
+            :class:`~repro.quant.packed.PackedLayer` under ``meta["packed"]``
+            — the per-layer outlier micro-block map the co-design pipeline
+            lifts into measured hardware workloads
+            (:meth:`repro.hw.LayerSpec.from_packed`). Methods without it
+            cannot run ``kind="codesign"`` jobs.
         supported_substrates: workload classes the method can quantize;
             ``None`` means every registered substrate.
         damp_param: which parameter carries the Hessian damping λ.
@@ -196,6 +202,7 @@ class MethodSpec:
     hessian_with_act: bool = True
     act_aware: bool = False
     supports_per_tensor: bool = False
+    exports_packed: bool = False
     group_param: Optional[str] = "group_size"
     supported_substrates: Optional[Tuple[str, ...]] = None
     damp_param: str = "damp_ratio"
@@ -313,6 +320,7 @@ class MethodSpec:
             "hessian": self.needs_hessian,
             "act": self.act_aware,
             "per_tensor": self.supports_per_tensor,
+            "packed": self.exports_packed,
             "group_param": self.group_param,
             "substrates": (
                 "all"

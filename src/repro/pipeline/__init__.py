@@ -39,10 +39,19 @@ from .executor import (
     make_executor,
 )
 from .progress import ProgressTracker
-from .runner import SweepResult, execute_job, run_sweep
+from .runner import (
+    SweepResult,
+    execute_job,
+    hw_stage_hash,
+    resolve_metric,
+    run_codesign_job,
+    run_sweep,
+)
 from .spec import (
     CALIBRATION_MODES,
     FP_METHOD,
+    HASH_VERSION,
+    JOB_KINDS,
     ExperimentSpec,
     Job,
     SweepSpec,
@@ -54,6 +63,8 @@ __all__ = [
     "EXECUTORS",
     "ExperimentSpec",
     "FP_METHOD",
+    "HASH_VERSION",
+    "JOB_KINDS",
     "Job",
     "JobOutcome",
     "ProcessExecutor",
@@ -65,7 +76,10 @@ __all__ = [
     "ThreadExecutor",
     "default_workers",
     "execute_job",
+    "hw_stage_hash",
     "known_methods",
     "make_executor",
+    "resolve_metric",
+    "run_codesign_job",
     "run_sweep",
 ]

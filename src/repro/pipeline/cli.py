@@ -3,12 +3,17 @@
 Four subcommands:
 
 * ``sweep`` — enumerate a grid (substrates × families × methods × bits ×
-  group sizes × calibration modes, plus the ``--archs`` hardware axis), run
-  it through the cache + executor, print the pivot table, optionally dump
-  JSON records; ``--param [target.]key=value`` pins schema-validated method
-  or arch parameters; ``--list-families`` / ``--list-methods`` (a
-  capability table: hessian? act? per-tensor? substrates, parameter schema)
-  / ``--list-substrates`` / ``--list-archs`` (the accelerator registry) /
+  group sizes × calibration modes, plus the hardware axes: ``--archs`` and
+  the first-class grid axes ``--prefills`` / ``--batches`` /
+  ``--n-recons``), run it through the cache + executor, print the pivot
+  table, optionally dump JSON records. ``--kind codesign`` (shorthand:
+  ``--codesign``) crosses the quantization grid *with* the arch axis into
+  joint quantize → lift → simulate jobs whose cells carry accuracy AND
+  hardware metrics from the same quantized weights; ``--param
+  [target.]key=value`` pins schema-validated method or arch parameters;
+  ``--list-families`` / ``--list-methods`` (a capability table: hessian?
+  act? per-tensor? packed? substrates, parameter schema) /
+  ``--list-substrates`` / ``--list-archs`` (the accelerator registry) /
   ``--list-plugins`` (entry-point-discovered methods, substrates, and
   archs) print the valid axis values and exit;
 * ``describe`` — full parameter docs and capability flags of one method or
@@ -30,8 +35,8 @@ from typing import List, Optional
 
 from .cache import ResultCache
 from .executor import EXECUTORS, default_workers
-from .runner import run_sweep
-from .spec import CALIBRATION_MODES, SweepSpec, known_methods
+from .runner import resolve_metric, run_sweep
+from .spec import CALIBRATION_MODES, JOB_KINDS, SweepSpec, known_methods
 
 __all__ = ["main", "build_parser"]
 
@@ -127,7 +132,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--archs", nargs="+", default=[], metavar="ARCH",
         help="accelerators to simulate (see --list-archs); adds one hardware "
-             "job per valid substrate × family × arch combination",
+             "job per valid substrate × family × arch combination (or, with "
+             "--kind codesign, crosses into the quantization grid)",
+    )
+    sweep.add_argument(
+        "--kind", default="auto", choices=["auto"] + list(JOB_KINDS),
+        help="job kind: 'auto' (quantization grid + independent hardware "
+             "axis), 'accuracy' / 'hw' (one side only), or 'codesign' "
+             "(joint quantize → lift → simulate jobs: accuracy AND hardware "
+             "metrics per cell from the same quantized weights)",
+    )
+    sweep.add_argument(
+        "--codesign", action="store_true",
+        help="shorthand for --kind codesign",
+    )
+    sweep.add_argument(
+        "--prefills", nargs="+", type=int, default=[None], metavar="N",
+        help="hardware grid axis: prompt tokens per prefill, enumerated "
+             "like --w-bits (transformer workloads; ignored kernels are "
+             "normalized out)",
+    )
+    sweep.add_argument(
+        "--batches", nargs="+", type=int, default=[None], metavar="N",
+        help="hardware grid axis: inputs per inference (CNN images / SSM "
+             "sequences / GEMM vectors)",
+    )
+    sweep.add_argument(
+        "--n-recons", nargs="+", type=int, default=[None], metavar="N",
+        help="hardware grid axis: ReCoN units per array (archs with an "
+             "n_recon knob)",
     )
     sweep.add_argument(
         "--param", action="append", default=[], metavar="[TARGET.]KEY=VALUE",
@@ -196,13 +229,24 @@ def _substrate_metric(substrate: str) -> str:
     return get_substrate(substrate).metric
 
 
+# The promoted hardware grid axes: simulation/arch knobs that are ALSO
+# enumerable sweep axes (like --w-bits), surfaced wherever schemas print.
+_GRID_AXES = {"prefill": "--prefills", "batch": "--batches", "n_recon": "--n-recons"}
+_GRID_AXES_NOTE = (
+    "grid axes: "
+    + ", ".join(f"{k} ({flag})" for k, flag in _GRID_AXES.items())
+    + " enumerate like --w-bits; values are normalized out of jobs whose "
+    "kernels ignore them"
+)
+
+
 def _print_method_table() -> None:
     """The capability table: one row per method, fp16 reference included."""
     from ..methods import METHODS
 
-    header = ("method", "hessian", "act", "per-tensor", "group-knob",
+    header = ("method", "hessian", "act", "per-tensor", "packed", "group-knob",
               "substrates", "source")
-    rows = [("fp16", "-", "-", "-", "-", "all", "builtin")]
+    rows = [("fp16", "-", "-", "-", "-", "-", "all", "builtin")]
     schemas = [("fp16", "(no parameters — the full-precision reference)")]
     for name in sorted(METHODS):
         caps = METHODS[name].capabilities()
@@ -211,6 +255,7 @@ def _print_method_table() -> None:
             "yes" if caps["hessian"] else "-",
             "yes" if caps["act"] else "-",
             "yes" if caps["per_tensor"] else "-",
+            "yes" if caps["packed"] else "-",
             caps["group_param"] or "-",
             caps["substrates"],
             caps["source"],
@@ -252,6 +297,7 @@ def _print_arch_table() -> None:
         print(f"  {name}: {schema}")
     print("\nshared simulation parameters (every arch):")
     print("  " + ", ".join(p.describe() for p in SIM_PARAMS))
+    print(_GRID_AXES_NOTE)
 
 
 def _print_plugin_listing() -> None:
@@ -307,6 +353,8 @@ def _print_params(params, indent: str = "  ") -> None:
         line = f"{indent}{p.name} ({kinds}, default {p.default!r})"
         if p.choices is not None:
             line += f" choices={list(p.choices)}"
+        if p.name in _GRID_AXES:
+            line += f" [grid axis: {_GRID_AXES[p.name]}]"
         print(line)
         if p.doc:
             print(f"{indent}    {p.doc}")
@@ -326,7 +374,11 @@ def _cmd_describe(args: argparse.Namespace) -> int:
               + (f", version {spec.version}" if spec.version else ""))
         caps = spec.capabilities()
         print(f"  capabilities: hessian={caps['hessian']} act={caps['act']} "
-              f"per_tensor={caps['per_tensor']} group_knob={caps['group_param'] or '-'}")
+              f"per_tensor={caps['per_tensor']} packed={caps['packed']} "
+              f"group_knob={caps['group_param'] or '-'}")
+        if caps["packed"]:
+            print("  codesign: exports packed layers — usable as the quant "
+                  "stage of --kind codesign jobs")
         print(f"  substrates: {caps['substrates']}")
         print("  parameters:")
         _print_params(spec.params, "    ")
@@ -357,6 +409,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         _print_params(spec.params, "    ")
         print("  shared simulation parameters:")
         _print_params(SIM_PARAMS, "    ")
+        print(f"  {_GRID_AXES_NOTE}")
         return 0
     if name in SUBSTRATES:
         spec = SUBSTRATES[name]
@@ -384,13 +437,10 @@ def _print_pivot(result, metric: str) -> None:
         col = o.job.label[len(prefix):] if o.job.label.startswith(prefix) else o.job.label
         if col not in columns:
             columns.append(col)
-        if metric != "auto":
-            m = metric
-        elif spec.arch is not None:
-            # Hardware jobs pivot on latency (GPU cost models on throughput).
-            m = "latency_ms" if "latency_ms" in o.metrics else "tokens_per_s"
-        else:
-            m = _substrate_metric(spec.substrate)
+        # Per-outcome resolution: hardware jobs pivot on latency (GPU cost
+        # models on throughput), accuracy and codesign jobs on the
+        # substrate's task metric.
+        m = metric if metric != "auto" else resolve_metric(o)
         pivot.setdefault(spec.family, {})[col] = o.metrics.get(m)
     if not columns:
         print("no successful jobs")
@@ -474,6 +524,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.codesign and args.kind not in ("auto", "codesign"):
+        print(
+            f"error: --codesign contradicts --kind {args.kind}; drop one",
+            file=sys.stderr,
+        )
+        return 2
     try:
         quant_kwargs, hw_kwargs, method_params, arch_params = _route_params(args)
         spec = SweepSpec(
@@ -486,6 +542,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             outlier_formats=tuple(f for f in args.outlier_formats),
             calibrations=tuple(args.calibrations),
             archs=tuple(args.archs) or (None,),
+            kind="codesign" if args.codesign else args.kind,
+            prefills=tuple(args.prefills),
+            batches=tuple(args.batches),
+            n_recons=tuple(args.n_recons),
             quant_kwargs=quant_kwargs,
             hw_kwargs=hw_kwargs,
             method_params=method_params,
@@ -506,11 +566,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         recompute=args.recompute,
     )
     t = result.telemetry
+    stages = ""
+    if t.get("quant_stage_hits") or t.get("hw_stage_hits"):
+        stages = (
+            f" · stage reuse: {t['quant_stage_hits']} quant, "
+            f"{t['hw_stage_hits']} hw"
+        )
     print(
         f"{t['done']}/{t['total']} jobs · {t['cache_hits']} cache hits · "
         f"{t['failures']} failures · {t['elapsed_s']:.2f}s wall "
         f"({t['jobs_per_s']:.2f} jobs/s, executor={t['executor']}, "
-        f"workers≤{args.workers or default_workers()})"
+        f"workers≤{args.workers or default_workers()})" + stages
     )
     _print_pivot(result, args.metric)
     for o in result.failures():

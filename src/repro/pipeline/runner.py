@@ -1,9 +1,9 @@
-"""High-level sweep driver: spec → cache → executor → typed result.
+"""High-level sweep driver: spec → stage graph → cache → executor → result.
 
 :func:`run_sweep` is the one call the benchmarks, the CLI, and the examples
 all go through. It enumerates a :class:`~repro.pipeline.spec.SweepSpec` into
 jobs, answers everything it can from the content-addressed
-:class:`~repro.pipeline.cache.ResultCache`, dispatches only the missing jobs
+:class:`~repro.pipeline.cache.ResultCache`, dispatches only the missing work
 to the chosen executor, persists fresh results, and returns a
 :class:`SweepResult` with the aggregation helpers the per-table/figure
 drivers pivot on.
@@ -13,12 +13,29 @@ alone — no closures, no shared state — so it pickles cleanly into worker
 processes and so a job's result is a pure function of its content hash.
 Its RNG is spawned from that hash (``job.spawn_seed``), which is what makes
 serial, thread, and process sweeps bit-identical.
+
+**The codesign stage graph.** A ``kind="codesign"`` job is the pure kernel
+chain ``run_quant_stage → lift_layerspecs → run_hw_job``:
+:func:`run_codesign_job` runs it in one call (quantize + evaluate via
+:func:`~repro.eval.harness.evaluate_setting`, lift the measured per-layer
+packed statistics, simulate the lifted
+:class:`~repro.hw.MeasuredWorkload`), merging accuracy and hardware metrics
+under the job's single content hash. Inside :func:`run_sweep` the chain is
+*staged*: the quant stage is an ordinary accuracy job cached under its own
+accuracy-job hash — so an accuracy sweep and a codesign sweep over the same
+settings share the expensive stage in either order — and the hardware stage
+is cached under a content hash of its actual inputs (arch + knobs + the
+lifted layer statistics), which is seed-free because quantization is
+deterministic: differently-seeded codesign sweeps share hw-stage cells.
+Stage reuse is reported in ``SweepResult.telemetry`` as
+``quant_stage_hits`` / ``hw_stage_hits``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -28,26 +45,21 @@ from ..methods.resources import HESSIAN_DIR_ENV
 from .cache import ResultCache
 from .executor import JobOutcome, make_executor
 from .progress import ProgressTracker, default_stream
-from .spec import FP_METHOD, ExperimentSpec, Job, SweepSpec
+from .spec import HASH_VERSION, ExperimentSpec, Job, SweepSpec, _canonical
 
-__all__ = ["SweepResult", "execute_job", "run_sweep"]
+__all__ = [
+    "SweepResult",
+    "execute_job",
+    "hw_stage_hash",
+    "resolve_metric",
+    "run_codesign_job",
+    "run_sweep",
+]
 
 
-def execute_job(job: Job) -> Dict[str, Any]:
-    """The canonical job kernel: quantize one setting and evaluate it — or,
-    for hardware jobs (``spec.arch`` set), simulate the (substrate, family)
-    workload on the named accelerator.
-
-    Everything is rebuilt from the spec inside the call (model, corpora,
-    quantizer state) and all randomness flows from the job-hash-spawned seed
-    (the hardware simulator is deterministic and draws none), so the result
-    is identical no matter which executor or worker runs it.
-    """
+def _quant_stage_metrics(job: Job) -> Dict[str, Any]:
+    """Run the quantize-and-evaluate stage of ``job`` (any non-hw kind)."""
     spec = job.spec
-    if spec.arch is not None:
-        from ..hw import run_hw_job
-
-        return run_hw_job(spec.substrate, spec.family, spec.arch, dict(spec.hw_kwargs))
     from ..eval.harness import evaluate_setting
 
     return evaluate_setting(
@@ -67,9 +79,139 @@ def execute_job(job: Job) -> Dict[str, Any]:
     )
 
 
+def hw_stage_hash(spec: ExperimentSpec, layers: Dict[str, Any], version: str = "") -> str:
+    """Content address of a codesign job's hardware stage.
+
+    A function of what the simulator actually reads — the arch, its knobs,
+    the (substrate, family) workload geometry, and the *lifted layer
+    statistics* — and of nothing else. The sweep seed only shapes the quant
+    stage's evaluation randomness, never the deterministic quantization the
+    lift measures, so differently-seeded codesign sweeps land on the same
+    hw-stage address and share the cell.
+    """
+    payload = _canonical(
+        {
+            "stage": "codesign-hw",
+            "substrate": spec.substrate,
+            "family": spec.family,
+            "arch": spec.arch,
+            "hw_kwargs": dict(spec.hw_kwargs),
+            "layers": layers,
+            "version": version or HASH_VERSION,
+        }
+    )
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _lift_layers(quant_metrics: Dict[str, Any], job: Job) -> Dict[str, Any]:
+    """The measured per-layer statistics the quant stage exported."""
+    layers = quant_metrics.get("layers")
+    if not layers:
+        raise RuntimeError(
+            f"codesign job {job.label!r}: the quant stage exported no packed "
+            f"layer statistics to lift (method {job.spec.method!r})"
+        )
+    return layers
+
+
+def _merge_codesign(
+    job: Job, quant_metrics: Dict[str, Any], hw_metrics: Dict[str, Any]
+) -> Dict[str, Any]:
+    """One merged metrics dict: accuracy metrics + hardware metrics + the
+    stage addresses (both deterministic functions of the job, so the merge
+    is identical whether the stages ran inline, staged, or from cache)."""
+    layers = _lift_layers(quant_metrics, job)
+    merged = dict(quant_metrics)
+    merged.update(hw_metrics)
+    merged["kind"] = "codesign"
+    merged["quant_stage_hash"] = job.quant_stage().job_hash
+    merged["hw_stage_hash"] = hw_stage_hash(job.spec, layers, job.version)
+    return merged
+
+
+def _run_hw_stage(job: Job, layers: Dict[str, Any]) -> Dict[str, Any]:
+    """The lifted hardware stage: simulate the measured workload."""
+    from ..hw import run_measured_hw_job
+
+    spec = job.spec
+    return run_measured_hw_job(
+        spec.substrate, spec.family, spec.arch, dict(spec.hw_kwargs), layers
+    )
+
+
+def run_codesign_job(
+    job: Job, quant_metrics: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The codesign kernel, inline: quantize → lift → simulate → merge.
+
+    A pure function of the job (given ``quant_metrics``, of the stage
+    result, which is itself pure), so codesign jobs cache and parallelize
+    like everything else; :func:`run_sweep` calls the same stage functions
+    through its staged scheduler instead, to share stage results across
+    jobs and sweeps.
+    """
+    if quant_metrics is None:
+        quant_metrics = _quant_stage_metrics(job.quant_stage())
+    layers = _lift_layers(quant_metrics, job)
+    return _merge_codesign(job, quant_metrics, _run_hw_stage(job, layers))
+
+
+def execute_job(job: Job) -> Dict[str, Any]:
+    """The canonical job kernel, routed by the spec's resolved kind:
+
+    * ``accuracy`` — quantize one setting and evaluate it;
+    * ``hw`` — simulate the (substrate, family) workload on the named
+      accelerator;
+    * ``codesign`` — the full stage chain (:func:`run_codesign_job`).
+
+    Everything is rebuilt from the spec inside the call (model, corpora,
+    quantizer state) and all randomness flows from the job-hash-spawned seed
+    (the hardware simulator is deterministic and draws none), so the result
+    is identical no matter which executor or worker runs it.
+    """
+    spec = job.spec
+    kind = spec.job_kind
+    if kind == "codesign":
+        return run_codesign_job(job)
+    if kind == "hw":
+        from ..hw import run_hw_job
+
+        return run_hw_job(spec.substrate, spec.family, spec.arch, dict(spec.hw_kwargs))
+    return _quant_stage_metrics(job)
+
+
+def resolve_metric(outcome: JobOutcome) -> str:
+    """The default metric of one outcome, from its substrate and kind.
+
+    Accuracy and codesign jobs resolve to the substrate's task metric
+    (``ppl`` / ``caption_score`` / ``top1`` / ``nll`` — a codesign job's
+    headline is its quality; the hardware numbers ride under their own
+    names). Pure hardware jobs resolve to ``latency_ms`` (GPU cost models to
+    ``tokens_per_s``). This is what lets a mixed accuracy+hardware sweep
+    aggregate with ``metric="auto"`` and no caller-named metrics.
+    """
+    spec = outcome.job.spec
+    if spec.job_kind == "hw":
+        metrics = outcome.metrics or {}
+        return "latency_ms" if "latency_ms" in metrics else "tokens_per_s"
+    from ..core.substrate import get_substrate
+
+    return get_substrate(spec.substrate).metric
+
+
 @dataclass
 class SweepResult:
-    """Outcomes of one sweep, in job order, plus pivot/aggregation helpers."""
+    """Outcomes of one sweep, in job order, plus pivot/aggregation helpers.
+
+    The aggregation helpers default to ``metric="auto"``: each job's metric
+    resolves per outcome through :func:`resolve_metric`, so mixed
+    accuracy + hardware + codesign sweeps aggregate without callers naming
+    metrics. An explicit metric name applies to every job; ``value`` and
+    ``as_table`` raise a :class:`KeyError` naming the metric and the job's
+    available metric keys when it is absent (``pivot`` stays lenient and
+    leaves missing cells ``None`` — figures often span heterogeneous jobs).
+    """
 
     jobs: List[Job]
     outcomes: List[JobOutcome]
@@ -110,9 +252,22 @@ class SweepResult:
         raise KeyError(f"no such job in sweep: {spec!r}")
 
     # ---------------------------------------------------------- aggregation
-    def value(self, metric: str = "ppl", **spec_fields) -> Any:
+    def _metric_of(self, outcome: JobOutcome, metric: str) -> Any:
+        """One outcome's metric value under auto-resolution, strict on
+        absence: the error names the metric and what the job does have."""
+        name = resolve_metric(outcome) if metric == "auto" else metric
+        metrics = outcome.metrics or {}
+        if name not in metrics:
+            raise KeyError(
+                f"metric {name!r} is not in job {outcome.job.label!r} "
+                f"metrics; available: {', '.join(sorted(metrics))}"
+            )
+        return metrics[name]
+
+    def value(self, metric: str = "auto", **spec_fields) -> Any:
         """The single ``metric`` of the unique job matching ``spec_fields``
-        (e.g. ``value(family="opt-6.7b", method="rtn", w_bits=4)``)."""
+        (e.g. ``value(family="opt-6.7b", method="rtn", w_bits=4)``);
+        ``"auto"`` resolves per the job's substrate and kind."""
         hits = [
             o
             for o in self.outcomes
@@ -122,10 +277,10 @@ class SweepResult:
             raise KeyError(f"{spec_fields} matched {len(hits)} jobs, expected 1")
         if hits[0].metrics is None:
             raise KeyError(f"job {hits[0].job.label!r} failed")
-        return hits[0].metrics[metric]
+        return self._metric_of(hits[0], metric)
 
     def as_table(
-        self, *fields: str, metric: str = "ppl", skip_failed: bool = True
+        self, *fields: str, metric: str = "auto", skip_failed: bool = True
     ) -> Dict[Any, Any]:
         """Flat dict keyed by spec-field tuples — the per-table form the
         benchmark drivers consume (``as_table("family", "method")``)."""
@@ -136,20 +291,23 @@ class SweepResult:
                     continue
                 raise KeyError(f"job {o.job.label!r} failed")
             key = tuple(getattr(o.job.spec, f) for f in fields)
-            out[key[0] if len(key) == 1 else key] = o.metrics.get(metric)
+            out[key[0] if len(key) == 1 else key] = self._metric_of(o, metric)
         return out
 
     def pivot(
-        self, row: str = "family", col: str = "method", metric: str = "ppl"
+        self, row: str = "family", col: str = "method", metric: str = "auto"
     ) -> Dict[Any, Dict[Any, Any]]:
-        """Nested ``{row_value: {col_value: metric}}`` — the per-figure form."""
+        """Nested ``{row_value: {col_value: metric}}`` — the per-figure form.
+        Lenient: a job without the (explicitly named) metric contributes
+        ``None`` rather than raising, since figures often mix job kinds."""
         out: Dict[Any, Dict[Any, Any]] = {}
         for o in self.outcomes:
             if o.metrics is None:
                 continue
             r = getattr(o.job.spec, row)
             c = getattr(o.job.spec, col)
-            out.setdefault(r, {})[c] = o.metrics.get(metric)
+            name = resolve_metric(o) if metric == "auto" else metric
+            out.setdefault(r, {})[c] = o.metrics.get(name)
         return out
 
     def by_label(self, metric: Optional[str] = None) -> Dict[str, Any]:
@@ -168,6 +326,80 @@ class SweepResult:
         ]
 
 
+# --------------------------------------------------------- staged scheduling
+
+
+@dataclass(frozen=True)
+class _HwStageTask:
+    """A dispatchable hardware stage: the codesign job + its lifted layers.
+
+    Module-level and closure-free so it pickles into process-pool workers;
+    quacks enough like a Job (``label``) for the executor's progress hooks.
+    ``stage_hash`` is the task's identity on the way back from the pool —
+    labels are free-form user tags and may collide across jobs.
+    """
+
+    job: Job
+    stage_hash: str
+    layers: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]
+
+    @property
+    def label(self) -> str:
+        return f"{self.job.label} [hw stage]"
+
+    def layer_dict(self) -> Dict[str, Dict[str, Any]]:
+        return {name: dict(stats) for name, stats in self.layers}
+
+    @staticmethod
+    def pack_layers(layers: Dict[str, Any]) -> Tuple:
+        return tuple(
+            (name, tuple(sorted(stats.items()))) for name, stats in sorted(layers.items())
+        )
+
+
+def _hw_stage_kernel(task: _HwStageTask) -> Dict[str, Any]:
+    return _run_hw_stage(task.job, task.layer_dict())
+
+
+class _StageBook:
+    """Bookkeeping for the codesign stage graph inside one sweep run."""
+
+    def __init__(self, cache: Optional[ResultCache], recompute: bool):
+        self.cache = cache
+        self.recompute = recompute
+        self.quant_results: Dict[str, Dict[str, Any]] = {}
+        self.quant_errors: Dict[str, Dict[str, str]] = {}
+        self.quant_stage_hits = 0
+        self.hw_stage_hits = 0
+
+    def lookup_quant(self, qjob: Job) -> Optional[Dict[str, Any]]:
+        """A usable cached quant-stage result (must carry the lift)."""
+        if self.cache is None or self.recompute:
+            return None
+        record = self.cache.get(qjob.job_hash)
+        metrics = (record or {}).get("metrics")
+        if metrics and metrics.get("layers"):
+            return metrics
+        return None  # pre-lift records recompute (and refresh) the stage
+
+    def lookup_hw(self, hh: str) -> Optional[Dict[str, Any]]:
+        if self.cache is None or self.recompute:
+            return None
+        return ((self.cache.get(hh) or {}).get("metrics")) or None
+
+    def store_hw(self, hh: str, job: Job, metrics: Dict[str, Any], seconds: float) -> None:
+        if self.cache is not None:
+            self.cache.put(
+                hh,
+                {
+                    "stage": "codesign-hw",
+                    "label": f"{job.label} [hw stage]",
+                    "metrics": metrics,
+                    "seconds": seconds,
+                },
+            )
+
+
 def run_sweep(
     sweep: Union[SweepSpec, Sequence[ExperimentSpec]],
     cache_dir: Optional[str] = None,
@@ -179,6 +411,14 @@ def run_sweep(
 ) -> SweepResult:
     """Run every job of ``sweep``, computing only what the cache lacks.
 
+    Codesign jobs run as a two-phase stage graph: phase 1 computes every
+    pending accuracy/hardware job *plus* the quant stages codesign jobs
+    still need (deduplicated — a codesign sweep over settings an accuracy
+    sweep already cached reuses those cells, counted in
+    ``telemetry["quant_stage_hits"]``); phase 2 simulates the lifted
+    hardware stages (cached by stage content, seed-free —
+    ``telemetry["hw_stage_hits"]``) and merges.
+
     Args:
         sweep: a :class:`SweepSpec` or an explicit list of
             :class:`ExperimentSpec` steps.
@@ -188,7 +428,9 @@ def run_sweep(
         workers: pool width (defaults to the usable CPU count).
         progress: print a live ticker to stderr.
         recompute: ignore cached entries (but still refresh them on disk).
-        kernel: job function — override for testing only.
+        kernel: job function — override for testing only (a custom kernel
+            also disables stage decomposition; codesign jobs then run
+            through it whole).
     """
     if not isinstance(sweep, SweepSpec):
         sweep = SweepSpec.from_specs(sweep)
@@ -207,6 +449,8 @@ def run_sweep(
         # deleted) cache directory with orphaned blobs.
         os.environ.pop(HESSIAN_DIR_ENV, None)
     tracker = ProgressTracker(total=len(jobs), stream=default_stream(progress))
+    book = _StageBook(cache, recompute)
+    staged = kernel is execute_job  # custom kernels own codesign semantics
 
     outcomes: Dict[str, JobOutcome] = {}
     pending: List[Job] = []
@@ -223,27 +467,150 @@ def run_sweep(
         else:
             pending.append(job)
 
-    if pending:
+    codesign = [j for j in pending if staged and j.spec.job_kind == "codesign"]
+    phase1 = [j for j in pending if not (staged and j.spec.job_kind == "codesign")]
+
+    # Quant stages the codesign jobs need, beyond what phase 1 already runs:
+    # an identical accuracy job pending (or cached) in this very sweep serves
+    # as the stage — the content hash is the same.
+    phase1_hashes = {j.job_hash for j in phase1}
+    stage_extra: Dict[str, Job] = {}
+    for j in codesign:
+        qjob = j.quant_stage()
+        qh = qjob.job_hash
+        if qh in book.quant_results:  # claimed by an earlier codesign job
+            book.quant_stage_hits += 1
+            continue
+        if qh in outcomes:  # the sweep's own accuracy cell, already from cache
+            metrics = outcomes[qh].metrics
+            if metrics and metrics.get("layers"):
+                book.quant_results[qh] = metrics
+                book.quant_stage_hits += 1
+                continue
+        if qh in phase1_hashes or qh in stage_extra:
+            # The stage is already being computed this sweep (as the sweep's
+            # own accuracy job, or for an earlier codesign sibling): shared.
+            book.quant_stage_hits += 1
+            continue
+        cached = book.lookup_quant(qjob)
+        if cached is not None:
+            book.quant_results[qh] = cached
+            book.quant_stage_hits += 1
+        else:
+            stage_extra[qh] = qjob
+
+    quant_needed = {j.quant_stage().job_hash for j in codesign}
+    phase1_all = phase1 + list(stage_extra.values())
+    if phase1_all:
         # One pending job can't use a pool; don't pay fork/setup for it.
-        name = "serial" if (executor == "auto" and len(pending) == 1) else executor
+        name = "serial" if (executor == "auto" and len(phase1_all) == 1) else executor
         pool = make_executor(name, workers)
-        for outcome in pool.run(kernel, pending):
-            outcomes[outcome.job.job_hash] = outcome
+        for outcome in pool.run(kernel, phase1_all):
+            h = outcome.job.job_hash
             # Failures are never cached: a fixed kernel or environment should
             # recompute them on the next sweep instead of replaying the error.
             if cache is not None and outcome.ok:
-                cache.put(outcome.job.job_hash, outcome.record())
-            tracker.update(
-                from_cache=False,
-                ok=outcome.ok,
-                seconds=outcome.seconds,
-                label=outcome.job.label,
-            )
+                cache.put(h, outcome.record())
+            if h in quant_needed:
+                if outcome.ok:
+                    book.quant_results[h] = outcome.metrics
+                else:
+                    book.quant_errors[h] = outcome.error
+            if h in phase1_hashes:
+                outcomes[h] = outcome
+                tracker.update(
+                    from_cache=False,
+                    ok=outcome.ok,
+                    seconds=outcome.seconds,
+                    label=outcome.job.label,
+                )
+
+    if codesign:
+        _run_codesign_phase(codesign, book, outcomes, tracker, executor, workers)
 
     telemetry = tracker.finish()
     telemetry["executor"] = executor
+    telemetry["quant_stage_hits"] = book.quant_stage_hits
+    telemetry["hw_stage_hits"] = book.hw_stage_hits
     return SweepResult(
         jobs=jobs,
         outcomes=[outcomes[j.job_hash] for j in jobs],
         telemetry=telemetry,
     )
+
+
+def _run_codesign_phase(
+    codesign: List[Job],
+    book: _StageBook,
+    outcomes: Dict[str, JobOutcome],
+    tracker: ProgressTracker,
+    executor: str,
+    workers: Optional[int],
+) -> None:
+    """Phase 2: lift each codesign job's quant-stage result, serve or
+    simulate its hardware stage, merge, cache, and record the outcome."""
+
+    def settle(job: Job, outcome: JobOutcome) -> None:
+        if book.cache is not None and outcome.ok:
+            book.cache.put(job.job_hash, outcome.record())
+        outcomes[job.job_hash] = outcome
+        tracker.update(
+            from_cache=False, ok=outcome.ok, seconds=outcome.seconds,
+            label=job.label,
+        )
+
+    def fail(job: Job, error: Dict[str, str]) -> None:
+        settle(job, JobOutcome(job, error=dict(error)))
+
+    def merge(job: Job, hw_metrics: Dict[str, Any], seconds: float) -> None:
+        quant = book.quant_results[job.quant_stage().job_hash]
+        metrics = _merge_codesign(job, quant, hw_metrics)
+        settle(job, JobOutcome(job, metrics=metrics, seconds=seconds))
+
+    # Pending stages dedup in-sweep by stage hash, like quant stages do:
+    # jobs whose lifts landed on the same address share one simulation.
+    pending_by_hash: Dict[str, List[Job]] = {}
+    tasks: List[_HwStageTask] = []
+    for job in codesign:
+        qh = job.quant_stage().job_hash
+        if qh in book.quant_errors:
+            fail(job, book.quant_errors[qh])
+            continue
+        quant = book.quant_results.get(qh)
+        if quant is None:  # phase 1 never produced it (shouldn't happen)
+            fail(job, {"type": "RuntimeError",
+                       "message": f"quant stage {qh} missing", "traceback": ""})
+            continue
+        try:
+            layers = _lift_layers(quant, job)
+        except RuntimeError as exc:
+            fail(job, {"type": "RuntimeError", "message": str(exc), "traceback": ""})
+            continue
+        hh = hw_stage_hash(job.spec, layers, job.version)
+        hw_metrics = book.lookup_hw(hh)
+        if hw_metrics is not None:
+            book.hw_stage_hits += 1
+            merge(job, hw_metrics, seconds=0.0)
+            continue
+        sharers = pending_by_hash.setdefault(hh, [])
+        if sharers:
+            book.hw_stage_hits += 1  # shares a sibling's pending simulation
+        else:
+            tasks.append(_HwStageTask(job, hh, _HwStageTask.pack_layers(layers)))
+        sharers.append(job)
+
+    if not tasks:
+        return
+    name = "serial" if (executor == "auto" and len(tasks) == 1) else executor
+    pool = make_executor(name, workers)
+    for outcome in pool.run(_hw_stage_kernel, tasks):
+        task: _HwStageTask = outcome.job  # the executor echoes the task back
+        for job in pending_by_hash[task.stage_hash]:
+            if not outcome.ok:
+                fail(job, outcome.error)
+            else:
+                merge(job, outcome.metrics,
+                      seconds=outcome.seconds if job is task.job else 0.0)
+        if outcome.ok:
+            book.store_hw(task.stage_hash, task.job, outcome.metrics,
+                          outcome.seconds)

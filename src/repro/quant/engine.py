@@ -70,18 +70,39 @@ CALIBRATION_MODES = ("sequential", "parallel")
 
 @dataclass
 class QuantizationReport:
-    """What happened when a model was quantized."""
+    """What happened when a model was quantized.
+
+    ``layer_packed`` is the packed-layer export hook: methods whose spec
+    declares ``exports_packed`` return a structural
+    :class:`~repro.quant.packed.PackedLayer` under ``meta["packed"]``, and
+    the engine collects it here per layer — the measured outlier micro-block
+    maps the co-design pipeline lifts into hardware workloads instead of the
+    per-family iid rates.
+    """
 
     method: str
     w_bits: int
     act_bits: Optional[int]
     layer_ebw: Dict[str, float] = field(default_factory=dict)
     layer_meta: Dict[str, dict] = field(default_factory=dict)
+    layer_packed: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def mean_ebw(self) -> float:
         vals = list(self.layer_ebw.values())
         return float(np.mean(vals)) if vals else 0.0
+
+    def layer_specs(self) -> Dict[str, Any]:
+        """Measured per-layer :class:`~repro.hw.mapping.LayerSpec`\\ s, lifted
+        from the packed layers via :meth:`LayerSpec.from_packed` — geometry,
+        EBW, and the *measured* ``outlier_ub_fraction`` of each quantized
+        matrix. Empty for methods that don't export packed layers."""
+        from ..hw.mapping import LayerSpec
+
+        return {
+            name: LayerSpec.from_packed(name, packed)
+            for name, packed in self.layer_packed.items()
+        }
 
 
 @dataclass
@@ -258,4 +279,7 @@ def quantize_model(
             report.layer_meta[name] = {
                 k: v for k, v in result.meta.items() if isinstance(v, (int, float, str))
             }
+            packed = result.meta.get("packed")
+            if packed is not None:
+                report.layer_packed[name] = packed
     return report

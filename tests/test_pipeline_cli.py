@@ -145,3 +145,84 @@ def test_cli_rejects_unknown_method_and_family(tmp_path, capsys):
 def test_cli_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_codesign_sweep_cycle(tmp_path, capsys):
+    """`--codesign` runs the stage graph end to end: merged metrics in the
+    pivot, stage reuse in the telemetry line, cache replay."""
+    cache = str(tmp_path / "cache")
+    base = [
+        "--families", "opt-6.7b",
+        "--methods", "microscopiq",
+        "--w-bits", "4",
+        "--cache-dir", cache,
+        "--executor", "serial",
+        "--quiet",
+    ]
+    # Accuracy sweep first: the cell the codesign quant stage will reuse.
+    assert main(["sweep", *base]) == 0
+    capsys.readouterr()
+    argv = ["sweep", *base, "--archs", "microscopiq-v2", "--codesign"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "stage reuse: 1 quant" in out
+    assert "=> microscopiq-v2" in out  # the codesign column label
+    # Replay: the merged cell is content-addressed like everything else.
+    assert main(argv) == 0
+    assert "1 cache hits" in capsys.readouterr().out
+    # --kind codesign is the long form of --codesign.
+    assert main(["sweep", *base[:-1], "--archs", "microscopiq-v2",
+                 "--kind", "codesign", "--quiet"]) == 0
+    assert "1 cache hits" in capsys.readouterr().out
+
+
+def test_cli_codesign_contradicting_kind_rejected(tmp_path, capsys):
+    rc = main(["sweep", "--families", "opt-6.7b", "--methods", "microscopiq",
+               "--archs", "microscopiq-v2", "--kind", "hw", "--codesign",
+               "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "contradicts" in capsys.readouterr().err
+
+
+def test_cli_codesign_rejects_incapable_methods(tmp_path, capsys):
+    rc = main(["sweep", "--families", "opt-6.7b", "--methods", "rtn",
+               "--archs", "microscopiq-v2", "--codesign",
+               "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "packed" in capsys.readouterr().err
+
+
+def test_cli_grid_axis_flags(tmp_path, capsys):
+    """--prefills/--n-recons enumerate hardware cells like --w-bits."""
+    cache = str(tmp_path / "cache")
+    argv = [
+        "sweep",
+        "--families", "llama2-7b",
+        "--archs", "microscopiq-v2",
+        "--prefills", "1", "64",
+        "--n-recons", "1", "2",
+        "--cache-dir", cache,
+        "--executor", "serial",
+        "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "4/4 jobs" in out
+    assert "n_recon=1,prefill=1" in out and "n_recon=2,prefill=64" in out
+
+
+def test_cli_grid_axis_typo_guard(tmp_path, capsys):
+    rc = main(["sweep", "--families", "resnet50", "--substrates", "cnn",
+               "--archs", "microscopiq-v2", "--prefills", "1",
+               "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "grid axis 'prefill'" in capsys.readouterr().err
+
+
+def test_cli_describe_covers_grid_axes(capsys):
+    assert main(["describe", "microscopiq-v2"]) == 0
+    out = capsys.readouterr().out
+    assert "--prefills" in out and "--n-recons" in out and "grid axis" in out
+    assert main(["describe", "microscopiq"]) == 0
+    out = capsys.readouterr().out
+    assert "codesign" in out and "packed" in out
