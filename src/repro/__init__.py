@@ -23,6 +23,7 @@ Subpackages:
     core         — the high-level public API
     pipeline     — parallel experiment orchestration: declarative sweeps,
                    content-addressed result caching, the repro-sweep CLI
+    obs          — observability: span tracer, metrics registry, run ledger
     plugins      — entry-point discovery of third-party methods/substrates
 """
 
@@ -36,6 +37,7 @@ from . import (
     hw,
     methods,
     models,
+    obs,
     pipeline,
     plugins,
     quant,
@@ -66,6 +68,7 @@ __all__ = [
     "hw",
     "methods",
     "models",
+    "obs",
     "pipeline",
     "plugins",
     "quant",

@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..obs.trace import trace
 from ..quant.engine import QuantizationReport, quantize_model as _engine_quantize_model
 
 __all__ = ["QuantizationReport", "evaluate_setting", "quantize_model"]
@@ -130,8 +131,11 @@ def evaluate_setting(
             k, v, bits=kv_bits, residual=kv_residual
         )
 
-    metrics.update(
-        sub.evaluate(model, eval_sequences, eval_seq_len, rng, **dict(eval_kwargs or {}))
-    )
+    with trace("evaluate", family=family, substrate=substrate, metric=sub.metric):
+        metrics.update(
+            sub.evaluate(
+                model, eval_sequences, eval_seq_len, rng, **dict(eval_kwargs or {})
+            )
+        )
     model.clear_overrides()
     return metrics

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..methods.spec import MethodParamError, Param
+from ..obs.trace import trace
 from .archs import HwArchSpec, HwParamError, get_arch
 from .area import AreaBreakdown, compute_density_tops_mm2, sram_area_mm2
 from .config import AcceleratorConfig
@@ -409,7 +410,10 @@ def run_hw_job(
     """
     arch, shape, cfg, sim_kwargs = _hw_call(substrate, arch_name, hw_kwargs)
     workload = build_workload(substrate, family, **shape)
-    return simulate(arch, workload, cfg, **sim_kwargs).metrics()
+    with trace(
+        "kernel:simulate", arch=arch.name, substrate=substrate, family=family
+    ):
+        return simulate(arch, workload, cfg, **sim_kwargs).metrics()
 
 
 def run_measured_hw_job(
@@ -441,7 +445,11 @@ def run_measured_hw_job(
     workload = MeasuredWorkload.from_layer_stats(
         base, layers, use_measured_ebw=getattr(arch, "uses_recon", True)
     )
-    metrics = simulate(arch, workload, cfg, **sim_kwargs).metrics()
+    with trace(
+        "kernel:simulate", arch=arch.name, substrate=substrate, family=family,
+        measured=True,
+    ):
+        metrics = simulate(arch, workload, cfg, **sim_kwargs).metrics()
 
     measured = dict(workload.roles)
     matched = [

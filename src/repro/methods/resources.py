@@ -46,6 +46,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+
 __all__ = [
     "HESSIAN_DIR_ENV",
     "HessianBundle",
@@ -149,6 +151,7 @@ class HessianBundle:
 
                     self._h = layer_hessian(self.acts, self.damp_ratio)
                     self.h_builds += 1
+                    METRICS.incr("hessian.store.h_builds")
                     self._persist_now()
                 # H is all any factor needs from here on; dropping the
                 # activation reference keeps a store full of bundles from
@@ -170,6 +173,7 @@ class HessianBundle:
 
                 self._hinv = inverse_hessian(self.h)
                 self.inversions += 1
+                METRICS.incr("hessian.store.inversions")
             return self._hinv
 
     @property
@@ -193,6 +197,7 @@ class HessianBundle:
                 low = np.linalg.cholesky(self.hinv)
                 self._u = np.ascontiguousarray(low.T)
                 self.factorizations += 1
+                METRICS.incr("hessian.store.factorizations")
                 self._persist_now()
             return self._u
 
@@ -289,6 +294,8 @@ class HessianStore:
                 with self._lock:  # corrupt blob: that "hit" was really a miss
                     self.disk_hits -= 1
                     self.misses += 1
+                    METRICS.incr("hessian.store.disk_hits", -1)
+                    METRICS.incr("hessian.store.misses")
                 return None  # fall through to rebuild from activations
 
         return load
@@ -331,13 +338,16 @@ class HessianStore:
             found = self._data.get(key)
             if found is not None:
                 self.hits += 1
+                METRICS.incr("hessian.store.hits")
                 self._data.move_to_end(key)
                 return found
             loader = self._disk_loader(key)
             if loader is not None:
                 self.disk_hits += 1
+                METRICS.incr("hessian.store.disk_hits")
             else:
                 self.misses += 1
+                METRICS.incr("hessian.store.misses")
             made = HessianBundle(
                 acts,
                 damp_ratio,

@@ -23,17 +23,28 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
+from ..obs.metrics import METRICS
+
 __all__ = ["ResultCache"]
 
 _SCHEMA = 1
 
 
 class ResultCache:
-    """Dictionary-flavored view of the on-disk store, keyed by job hash."""
+    """Dictionary-flavored view of the on-disk store, keyed by job hash.
+
+    Lookup traffic is counted per instance (``hits``/``misses``/``puts``)
+    and published to the process-wide :data:`repro.obs.metrics.METRICS`
+    registry under ``result_cache.*``. Maintenance scans (``entries`` /
+    ``clean`` / ``stats``) deliberately don't count — only actual lookups do.
+    """
 
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
 
     # ------------------------------------------------------------- addressing
     def path_for(self, job_hash: str) -> Path:
@@ -42,9 +53,8 @@ class ResultCache:
         return self.root / job_hash[:2] / f"{job_hash}.json"
 
     # ------------------------------------------------------------------ reads
-    def get(self, job_hash: str) -> Optional[Dict[str, Any]]:
-        """The stored record, or ``None`` on miss/corruption."""
-        path = self.path_for(job_hash)
+    def _read(self, path: Path) -> Optional[Dict[str, Any]]:
+        """One record off disk, uncounted; ``None`` on miss/corruption."""
         try:
             with open(path, "r", encoding="utf-8") as f:
                 record = json.load(f)
@@ -54,19 +64,32 @@ class ResultCache:
             return None
         return record
 
+    def get(self, job_hash: str) -> Optional[Dict[str, Any]]:
+        """The stored record, or ``None`` on miss/corruption."""
+        record = self._read(self.path_for(job_hash))
+        if record is None:
+            self.misses += 1
+            METRICS.incr("result_cache.misses")
+        else:
+            self.hits += 1
+            METRICS.incr("result_cache.hits")
+        return record
+
     def __contains__(self, job_hash: str) -> bool:
         return self.get(job_hash) is not None
 
     def entries(self) -> Iterator[Dict[str, Any]]:
         """All readable records, in stable (hash-sorted) order."""
         for path in sorted(self.root.glob("??/*.json")):
-            record = self.get(path.stem)
+            record = self._read(path)
             if record is not None:
                 yield record
 
     # ----------------------------------------------------------------- writes
     def put(self, job_hash: str, record: Dict[str, Any]) -> Path:
         """Atomically persist ``record`` under ``job_hash``."""
+        self.puts += 1
+        METRICS.incr("result_cache.puts")
         path = self.path_for(job_hash)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = dict(record)
@@ -101,7 +124,7 @@ class ResultCache:
         now = time.time()
         for path in list(self.root.glob("??/*.json")):
             if older_than is not None:
-                record = self.get(path.stem)
+                record = self._read(path)
                 age = now - float((record or {}).get("created_at", 0.0))
                 if record is not None and age < older_than:
                     continue

@@ -1,6 +1,6 @@
 """Command-line front end: ``python -m repro.pipeline`` / ``repro-sweep``.
 
-Four subcommands:
+Six subcommands:
 
 * ``sweep`` — enumerate a grid (substrates × families × methods × bits ×
   group sizes × calibration modes, plus the hardware axes: ``--archs`` and
@@ -19,6 +19,10 @@ Four subcommands:
 * ``describe`` — full parameter docs and capability flags of one method or
   arch;
 * ``show``  — summarize what the cache already holds;
+* ``report`` — recent runs from the run ledger (``<cache>/runs/``):
+  outcomes, stage reuse, counter attribution, slowest jobs;
+* ``trace`` — one run's span tree (total/self times per span); record
+  spans with ``sweep --trace`` or ``REPRO_TRACE=1``;
 * ``clean`` — purge cached results (optionally only entries older than
   ``--older-than`` seconds / ``--max-age-hours`` hours).
 
@@ -179,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None)
     sweep.add_argument("--recompute", action="store_true")
     sweep.add_argument(
+        "--trace", action=argparse.BooleanOptionalAction, default=None,
+        help="record a span tree for this sweep into the run ledger "
+             "(--no-trace forces tracing off; default follows REPRO_TRACE)",
+    )
+    sweep.add_argument(
         "--metric", default="auto",
         help="metric column to pivot on; 'auto' uses each substrate's task "
              "metric (ppl / caption_score / top1 / nll)",
@@ -209,6 +218,25 @@ def build_parser() -> argparse.ArgumentParser:
     show = sub.add_parser("show", help="summarize the result cache")
     show.add_argument("--cache-dir", default=DEFAULT_CACHE)
     show.add_argument("--limit", type=int, default=20)
+
+    report = sub.add_parser(
+        "report", help="recent sweep runs from the run ledger"
+    )
+    report.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    report.add_argument("--limit", type=int, default=5,
+                        help="how many recent runs to show")
+    report.add_argument("--slowest", type=int, default=8,
+                        help="slowest computed jobs per run")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="render one run's span tree (total/self times)"
+    )
+    trace_cmd.add_argument(
+        "run_id", nargs="?", default="last",
+        help="run id (or unique prefix) from 'report'; default: latest run",
+    )
+    trace_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    trace_cmd.add_argument("--max-depth", type=int, default=12)
 
     clean = sub.add_parser("clean", help="delete cached results")
     clean.add_argument("--cache-dir", default=DEFAULT_CACHE)
@@ -564,6 +592,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         progress=not args.quiet,
         recompute=args.recompute,
+        trace=args.trace,
     )
     t = result.telemetry
     stages = ""
@@ -572,12 +601,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f" · stage reuse: {t['quant_stage_hits']} quant, "
             f"{t['hw_stage_hits']} hw"
         )
+    hs = t.get("hessian") or {}
+    if any(hs.values()):
+        stages += (
+            f" · hessian: {hs.get('hits', 0)} hits, "
+            f"{hs.get('disk_hits', 0)} disk, {hs.get('misses', 0)} misses, "
+            f"{hs.get('factorizations', 0)} factorizations"
+        )
     print(
         f"{t['done']}/{t['total']} jobs · {t['cache_hits']} cache hits · "
         f"{t['failures']} failures · {t['elapsed_s']:.2f}s wall "
         f"({t['jobs_per_s']:.2f} jobs/s, executor={t['executor']}, "
         f"workers≤{args.workers or default_workers()})" + stages
     )
+    if t.get("run_id"):
+        print(f"run {t['run_id']} appended to "
+              f"{args.cache_dir}/runs/runs.jsonl (see 'repro-sweep report')")
     _print_pivot(result, args.metric)
     for o in result.failures():
         print(f"FAILED {o.job.label}: {o.error['type']}: {o.error['message']}",
@@ -607,6 +646,41 @@ def _cmd_show(args: argparse.Namespace) -> int:
         line = f"  {record.get('hash', '?')[:12]}  {record.get('label', '?'):40s}"
         if value is not None:
             line += f"  {metric}={value:.3f}"
+        print(line)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..obs import RunLedger, render_run
+
+    ledger = RunLedger(ResultCache(args.cache_dir).root / "runs")
+    runs = ledger.runs(limit=args.limit)
+    if not runs:
+        print(f"no runs recorded yet under {ledger.root} "
+              "(any cached 'repro-sweep sweep' appends one)")
+        return 0
+    total = len(ledger)
+    print(f"{total} run(s) in {ledger.path}; showing {len(runs)} most recent")
+    for record in runs:
+        print()
+        for line in render_run(record, slowest=args.slowest):
+            print(line)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..obs import RunLedger, render_span_tree
+
+    ledger = RunLedger(ResultCache(args.cache_dir).root / "runs")
+    record = ledger.get(args.run_id)
+    if record is None:
+        print(f"error: no run matching {args.run_id!r} in {ledger.path} "
+              "(ids and unique prefixes accepted; see 'repro-sweep report')",
+              file=sys.stderr)
+        return 2
+    print(f"run {record.get('run_id', '?')} · executor="
+          f"{record.get('executor', '?')} · wall {record.get('wall_s', 0.0):.2f}s")
+    for line in render_span_tree(record.get("spans"), max_depth=args.max_depth):
         print(line)
     return 0
 
@@ -642,6 +716,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_describe(args)
     if args.command == "show":
         return _cmd_show(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "clean":
         return _cmd_clean(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -27,6 +27,8 @@ from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, T
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
+from ..obs.metrics import METRICS
+from ..obs.trace import current_tracer
 from .spec import Job
 
 __all__ = [
@@ -42,7 +44,13 @@ __all__ = [
 
 @dataclass
 class JobOutcome:
-    """What happened to one job: its metrics or its failure, plus timing."""
+    """What happened to one job: its metrics or its failure, plus timing.
+
+    ``spans`` (the job's serialized span tree, when tracing is on) and
+    ``counters`` (the metric delta this job produced in its worker) ride the
+    same wire as the metrics — that is how a multi-process sweep still yields
+    one coherent trace and one set of counter totals.
+    """
 
     job: Job
     metrics: Optional[Dict[str, Any]] = None
@@ -50,6 +58,8 @@ class JobOutcome:
     seconds: float = 0.0
     from_cache: bool = False
     worker: str = ""
+    spans: Optional[Dict[str, Any]] = None
+    counters: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -70,14 +80,32 @@ class JobOutcome:
 def _call(fn: Callable[[Job], Dict[str, Any]], job: Job) -> JobOutcome:
     """Run one job, capturing timing and any exception (module-level so it
     pickles for the process pool)."""
+    # The executor also dispatches stage/layer tasks that merely quack like
+    # jobs (label only) — identity attrs are best-effort.
+    tracer = current_tracer()
+    before = METRICS.snapshot() if tracer is not None else None
+    capture = None
+    if tracer is not None:
+        capture = tracer.capture(
+            "job",
+            label=getattr(job, "label", ""),
+            hash=getattr(job, "job_hash", "") or getattr(job, "stage_hash", ""),
+            kind=getattr(getattr(job, "spec", None), "job_kind", ""),
+        )
     start = time.perf_counter()
     try:
-        metrics = fn(job)
+        if capture is not None:
+            with capture:
+                metrics = fn(job)
+        else:
+            metrics = fn(job)
         return JobOutcome(
             job,
             metrics=metrics,
             seconds=time.perf_counter() - start,
             worker=f"pid-{os.getpid()}",
+            spans=capture.to_dict() if capture is not None else None,
+            counters=METRICS.delta(before) if before is not None else None,
         )
     except Exception as exc:  # deliberate: one bad job must not kill the sweep
         return JobOutcome(
@@ -89,6 +117,8 @@ def _call(fn: Callable[[Job], Dict[str, Any]], job: Job) -> JobOutcome:
             },
             seconds=time.perf_counter() - start,
             worker=f"pid-{os.getpid()}",
+            spans=capture.to_dict() if capture is not None else None,
+            counters=METRICS.delta(before) if before is not None else None,
         )
 
 

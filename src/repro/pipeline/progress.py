@@ -29,22 +29,37 @@ class ProgressTracker:
     cache_hits: int = 0
     failures: int = 0
     compute_seconds: float = 0.0
+    lookup_seconds: float = 0.0
     _started: float = field(default_factory=time.perf_counter)
     _last_print: float = 0.0
 
     def update(
         self, *, from_cache: bool = False, ok: bool = True, seconds: float = 0.0,
-        label: str = "",
+        label: str = "", error_type: str = "",
     ) -> None:
-        """Record one finished job."""
+        """Record one finished job.
+
+        ``seconds`` is compute time for computed jobs and real cache-lookup
+        time for hits (so ``summary()`` no longer reports a warm sweep as
+        zero-cost). A failure prints its label and error class immediately —
+        failures are rare by construction, so the line bypasses the ticker's
+        rate limit without being able to flood it.
+        """
         self.done += 1
         if from_cache:
             self.cache_hits += 1
+            self.lookup_seconds += seconds
         else:
             self.computed += 1
             self.compute_seconds += seconds
         if not ok:
             self.failures += 1
+            if self.stream is not None:
+                print(
+                    f"FAILED {label or '<unlabeled job>'}"
+                    f" ({error_type or 'Error'})".ljust(78),
+                    file=self.stream, flush=True,
+                )
         self._tick(label)
 
     # ------------------------------------------------------------- reporting
@@ -70,6 +85,7 @@ class ProgressTracker:
             "failures": self.failures,
             "elapsed_s": round(self.elapsed, 3),
             "compute_s": round(self.compute_seconds, 3),
+            "lookup_s": round(self.lookup_seconds, 6),
             "jobs_per_s": round(self.throughput, 3),
             "hit_rate": round(self.hit_rate, 4),
         }

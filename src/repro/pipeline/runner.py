@@ -36,12 +36,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..methods.resources import HESSIAN_DIR_ENV
+from ..obs.ledger import RunLedger
+from ..obs.metrics import METRICS, merge_deltas
+from ..obs.trace import TRACE_ENV, current_tracer, enable_tracing, set_tracer, trace
 from .cache import ResultCache
 from .executor import JobOutcome, make_executor
 from .progress import ProgressTracker, default_stream
@@ -62,21 +66,28 @@ def _quant_stage_metrics(job: Job) -> Dict[str, Any]:
     spec = job.spec
     from ..eval.harness import evaluate_setting
 
-    return evaluate_setting(
-        family=spec.family,
+    with trace(
+        "stage:quant",
         method=spec.method,
-        w_bits=spec.w_bits,
-        act_bits=spec.act_bits,
-        quant_kwargs=dict(spec.quant_kwargs),
-        kv_bits=spec.kv_bits,
-        kv_residual=spec.kv_residual,
-        eval_sequences=spec.eval_sequences,
-        eval_seq_len=spec.eval_seq_len,
-        rng=np.random.default_rng(job.spawn_seed),
+        family=spec.family,
         substrate=spec.substrate,
-        calibration=spec.calibration,
-        eval_kwargs=dict(spec.eval_kwargs),
-    )
+        w_bits=spec.w_bits,
+    ):
+        return evaluate_setting(
+            family=spec.family,
+            method=spec.method,
+            w_bits=spec.w_bits,
+            act_bits=spec.act_bits,
+            quant_kwargs=dict(spec.quant_kwargs),
+            kv_bits=spec.kv_bits,
+            kv_residual=spec.kv_residual,
+            eval_sequences=spec.eval_sequences,
+            eval_seq_len=spec.eval_seq_len,
+            rng=np.random.default_rng(job.spawn_seed),
+            substrate=spec.substrate,
+            calibration=spec.calibration,
+            eval_kwargs=dict(spec.eval_kwargs),
+        )
 
 
 def hw_stage_hash(spec: ExperimentSpec, layers: Dict[str, Any], version: str = "") -> str:
@@ -135,9 +146,12 @@ def _run_hw_stage(job: Job, layers: Dict[str, Any]) -> Dict[str, Any]:
     from ..hw import run_measured_hw_job
 
     spec = job.spec
-    return run_measured_hw_job(
-        spec.substrate, spec.family, spec.arch, dict(spec.hw_kwargs), layers
-    )
+    with trace(
+        "stage:hw", arch=spec.arch, substrate=spec.substrate, family=spec.family
+    ):
+        return run_measured_hw_job(
+            spec.substrate, spec.family, spec.arch, dict(spec.hw_kwargs), layers
+        )
 
 
 def run_codesign_job(
@@ -153,7 +167,8 @@ def run_codesign_job(
     """
     if quant_metrics is None:
         quant_metrics = _quant_stage_metrics(job.quant_stage())
-    layers = _lift_layers(quant_metrics, job)
+    with trace("stage:lift", family=job.spec.family, arch=job.spec.arch):
+        layers = _lift_layers(quant_metrics, job)
     return _merge_codesign(job, quant_metrics, _run_hw_stage(job, layers))
 
 
@@ -369,6 +384,7 @@ class _StageBook:
         self.recompute = recompute
         self.quant_results: Dict[str, Dict[str, Any]] = {}
         self.quant_errors: Dict[str, Dict[str, str]] = {}
+        self.quant_spans: Dict[str, Dict[str, Any]] = {}
         self.quant_stage_hits = 0
         self.hw_stage_hits = 0
 
@@ -408,6 +424,7 @@ def run_sweep(
     progress: bool = False,
     recompute: bool = False,
     kernel: Callable[[Job], Dict[str, Any]] = execute_job,
+    trace: Optional[bool] = None,
 ) -> SweepResult:
     """Run every job of ``sweep``, computing only what the cache lacks.
 
@@ -418,6 +435,11 @@ def run_sweep(
     ``telemetry["quant_stage_hits"]``); phase 2 simulates the lifted
     hardware stages (cached by stage content, seed-free —
     ``telemetry["hw_stage_hits"]``) and merges.
+
+    When a cache directory is given, every run appends one record — spec
+    digest, per-job outcomes, counter delta, span tree when traced — to the
+    run ledger at ``<cache>/runs/runs.jsonl`` (queried by ``repro-sweep
+    report`` / ``trace``); its id lands in ``telemetry["run_id"]``.
 
     Args:
         sweep: a :class:`SweepSpec` or an explicit list of
@@ -431,7 +453,42 @@ def run_sweep(
         kernel: job function — override for testing only (a custom kernel
             also disables stage decomposition; codesign jobs then run
             through it whole).
+        trace: ``True`` enables span tracing for this sweep (and exports
+            ``REPRO_TRACE=1`` so pool workers join in), ``False`` disables
+            it, ``None`` (default) keeps whatever
+            :func:`repro.obs.enable_tracing` / ``REPRO_TRACE`` already chose.
+            The previous tracer and environment are restored afterwards.
     """
+    prev_tracer = current_tracer()
+    prev_env = os.environ.get(TRACE_ENV)
+    if trace is True:
+        enable_tracing()
+        os.environ[TRACE_ENV] = "1"
+    elif trace is False:
+        set_tracer(None)
+        os.environ[TRACE_ENV] = "0"
+    try:
+        return _run_sweep(
+            sweep, cache_dir, executor, workers, progress, recompute, kernel
+        )
+    finally:
+        if trace is not None:
+            set_tracer(prev_tracer)
+            if prev_env is None:
+                os.environ.pop(TRACE_ENV, None)
+            else:
+                os.environ[TRACE_ENV] = prev_env
+
+
+def _run_sweep(
+    sweep: Union[SweepSpec, Sequence[ExperimentSpec]],
+    cache_dir: Optional[str],
+    executor: str,
+    workers: Optional[int],
+    progress: bool,
+    recompute: bool,
+    kernel: Callable[[Job], Dict[str, Any]],
+) -> SweepResult:
     if not isinstance(sweep, SweepSpec):
         sweep = SweepSpec.from_specs(sweep)
     jobs = sweep.jobs()
@@ -448,6 +505,11 @@ def run_sweep(
         # earlier sweep would silently resurrect that sweep's (possibly
         # deleted) cache directory with orphaned blobs.
         os.environ.pop(HESSIAN_DIR_ENV, None)
+    tracer = current_tracer()
+    started_at = time.time()
+    counters_before = METRICS.snapshot()
+    my_pid = f"pid-{os.getpid()}"
+    foreign_counters: List[Dict[str, float]] = []
     tracker = ProgressTracker(total=len(jobs), stream=default_stream(progress))
     book = _StageBook(cache, recompute)
     staged = kernel is execute_job  # custom kernels own codesign semantics
@@ -455,7 +517,12 @@ def run_sweep(
     outcomes: Dict[str, JobOutcome] = {}
     pending: List[Job] = []
     for job in jobs:
-        record = None if (cache is None or recompute) else cache.get(job.job_hash)
+        if cache is None or recompute:
+            record, lookup_s = None, 0.0
+        else:
+            t0 = time.perf_counter()
+            record = cache.get(job.job_hash)
+            lookup_s = time.perf_counter() - t0
         if record is not None and record.get("metrics") is not None:
             outcomes[job.job_hash] = JobOutcome(
                 job,
@@ -463,7 +530,7 @@ def run_sweep(
                 seconds=float(record.get("seconds", 0.0)),
                 from_cache=True,
             )
-            tracker.update(from_cache=True, label=job.label)
+            tracker.update(from_cache=True, seconds=lookup_s, label=job.label)
         else:
             pending.append(job)
 
@@ -507,6 +574,8 @@ def run_sweep(
         pool = make_executor(name, workers)
         for outcome in pool.run(kernel, phase1_all):
             h = outcome.job.job_hash
+            if outcome.counters and outcome.worker != my_pid:
+                foreign_counters.append(outcome.counters)
             # Failures are never cached: a fixed kernel or environment should
             # recompute them on the next sweep instead of replaying the error.
             if cache is not None and outcome.ok:
@@ -514,6 +583,8 @@ def run_sweep(
             if h in quant_needed:
                 if outcome.ok:
                     book.quant_results[h] = outcome.metrics
+                    if outcome.spans:
+                        book.quant_spans[h] = outcome.spans
                 else:
                     book.quant_errors[h] = outcome.error
             if h in phase1_hashes:
@@ -523,20 +594,129 @@ def run_sweep(
                     ok=outcome.ok,
                     seconds=outcome.seconds,
                     label=outcome.job.label,
+                    error_type=(outcome.error or {}).get("type", ""),
                 )
 
     if codesign:
-        _run_codesign_phase(codesign, book, outcomes, tracker, executor, workers)
+        _run_codesign_phase(
+            codesign, book, outcomes, tracker, executor, workers, foreign_counters
+        )
 
     telemetry = tracker.finish()
     telemetry["executor"] = executor
     telemetry["quant_stage_hits"] = book.quant_stage_hits
     telemetry["hw_stage_hits"] = book.hw_stage_hits
-    return SweepResult(
+    # Publish the sweep-level counters, then report this run's delta —
+    # local activity plus whatever foreign pool workers shipped back.
+    METRICS.incr("pipeline.jobs_computed", tracker.computed)
+    if book.quant_stage_hits:
+        METRICS.incr("pipeline.quant_stage_hits", book.quant_stage_hits)
+    if book.hw_stage_hits:
+        METRICS.incr("pipeline.hw_stage_hits", book.hw_stage_hits)
+    counters = merge_deltas(METRICS.delta(counters_before), *foreign_counters)
+    telemetry["counters"] = counters
+    telemetry["hessian"] = {
+        key: int(counters.get(f"hessian.store.{key}", 0))
+        for key in (
+            "hits", "disk_hits", "misses", "h_builds", "inversions",
+            "factorizations",
+        )
+    }
+    spans_tree = None
+    if tracer is not None:
+        spans_tree = {
+            "name": "sweep",
+            "attrs": {"executor": executor, "n_jobs": len(jobs)},
+            "seconds": round(time.time() - started_at, 6),
+            "children": [
+                outcomes[j.job_hash].spans
+                for j in jobs
+                if outcomes[j.job_hash].spans
+            ],
+        }
+    result = SweepResult(
         jobs=jobs,
         outcomes=[outcomes[j.job_hash] for j in jobs],
         telemetry=telemetry,
     )
+    if cache is not None:
+        digest = hashlib.sha256(
+            "\n".join(sorted(j.job_hash for j in jobs)).encode("utf-8")
+        ).hexdigest()
+        ledger_jobs = []
+        for o in result.outcomes:
+            entry = {
+                "hash": o.job.job_hash,
+                "label": o.job.label,
+                "kind": o.job.spec.job_kind,
+                "ok": o.ok,
+                "from_cache": o.from_cache,
+                "seconds": round(o.seconds, 6),
+            }
+            if o.error is not None:
+                entry["error_type"] = o.error.get("type", "Error")
+            ledger_jobs.append(entry)
+        telemetry["run_id"] = RunLedger(cache.root / "runs").append(
+            {
+                "started_at": started_at,
+                "finished_at": time.time(),
+                "wall_s": telemetry["elapsed_s"],
+                "compute_s": telemetry["compute_s"],
+                "lookup_s": telemetry["lookup_s"],
+                "spec_digest": digest,
+                "executor": executor,
+                "workers": workers or 0,
+                "n_jobs": len(jobs),
+                "cache_hits": tracker.cache_hits,
+                "failures": tracker.failures,
+                "quant_stage_hits": book.quant_stage_hits,
+                "hw_stage_hits": book.hw_stage_hits,
+                "traced": tracer is not None,
+                "counters": counters,
+                "jobs": ledger_jobs,
+                "spans": spans_tree,
+            }
+        )
+    return result
+
+
+def _codesign_span_tree(
+    job: Job,
+    book: _StageBook,
+    lift_span: Optional[Dict[str, Any]],
+    hw_span: Optional[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """The synthesized span tree of one *staged* codesign job.
+
+    The staged scheduler runs the job's stages in different places (phase 1
+    pool, the runner thread, phase 2 pool), so no single capture saw the
+    whole job; this stitches the stage captures back into one ``job`` node
+    whose total is exactly the sum of its stage children — stages served
+    from cache simply have no child here.
+    """
+    children: List[Dict[str, Any]] = []
+    qspan = book.quant_spans.get(job.quant_stage().job_hash)
+    if qspan:
+        kids = qspan.get("children") or []
+        children.extend(kids or [dict(qspan, name="stage:quant")])
+    if lift_span:
+        children.append(lift_span)
+    if hw_span:
+        kids = hw_span.get("children") or []
+        children.extend(kids or [dict(hw_span, name="stage:hw")])
+    if not children:
+        return None
+    return {
+        "name": "job",
+        "attrs": {
+            "label": job.label,
+            "hash": job.job_hash,
+            "kind": "codesign",
+            "staged": True,
+        },
+        "seconds": round(sum(float(c.get("seconds", 0.0)) for c in children), 6),
+        "children": children,
+    }
 
 
 def _run_codesign_phase(
@@ -546,9 +726,13 @@ def _run_codesign_phase(
     tracker: ProgressTracker,
     executor: str,
     workers: Optional[int],
+    foreign_counters: List[Dict[str, float]],
 ) -> None:
     """Phase 2: lift each codesign job's quant-stage result, serve or
     simulate its hardware stage, merge, cache, and record the outcome."""
+    traced_run = current_tracer() is not None
+    my_pid = f"pid-{os.getpid()}"
+    lift_spans: Dict[str, Dict[str, Any]] = {}  # by job hash
 
     def settle(job: Job, outcome: JobOutcome) -> None:
         if book.cache is not None and outcome.ok:
@@ -557,15 +741,26 @@ def _run_codesign_phase(
         tracker.update(
             from_cache=False, ok=outcome.ok, seconds=outcome.seconds,
             label=job.label,
+            error_type=(outcome.error or {}).get("type", ""),
         )
 
     def fail(job: Job, error: Dict[str, str]) -> None:
         settle(job, JobOutcome(job, error=dict(error)))
 
-    def merge(job: Job, hw_metrics: Dict[str, Any], seconds: float) -> None:
+    def merge(
+        job: Job,
+        hw_metrics: Dict[str, Any],
+        seconds: float,
+        hw_span: Optional[Dict[str, Any]] = None,
+    ) -> None:
         quant = book.quant_results[job.quant_stage().job_hash]
         metrics = _merge_codesign(job, quant, hw_metrics)
-        settle(job, JobOutcome(job, metrics=metrics, seconds=seconds))
+        spans = (
+            _codesign_span_tree(job, book, lift_spans.get(job.job_hash), hw_span)
+            if traced_run
+            else None
+        )
+        settle(job, JobOutcome(job, metrics=metrics, seconds=seconds, spans=spans))
 
     # Pending stages dedup in-sweep by stage hash, like quant stages do:
     # jobs whose lifts landed on the same address share one simulation.
@@ -581,12 +776,20 @@ def _run_codesign_phase(
             fail(job, {"type": "RuntimeError",
                        "message": f"quant stage {qh} missing", "traceback": ""})
             continue
+        t0 = time.perf_counter()
         try:
             layers = _lift_layers(quant, job)
         except RuntimeError as exc:
             fail(job, {"type": "RuntimeError", "message": str(exc), "traceback": ""})
             continue
         hh = hw_stage_hash(job.spec, layers, job.version)
+        if traced_run:
+            lift_spans[job.job_hash] = {
+                "name": "stage:lift",
+                "attrs": {"family": job.spec.family, "arch": job.spec.arch},
+                "seconds": round(time.perf_counter() - t0, 6),
+                "children": [],
+            }
         hw_metrics = book.lookup_hw(hh)
         if hw_metrics is not None:
             book.hw_stage_hits += 1
@@ -605,12 +808,20 @@ def _run_codesign_phase(
     pool = make_executor(name, workers)
     for outcome in pool.run(_hw_stage_kernel, tasks):
         task: _HwStageTask = outcome.job  # the executor echoes the task back
+        if outcome.counters and outcome.worker != my_pid:
+            foreign_counters.append(outcome.counters)
         for job in pending_by_hash[task.stage_hash]:
             if not outcome.ok:
                 fail(job, outcome.error)
             else:
+                # Attribute the stage's seconds to the task's owning job only
+                # (sharers get 0.0 — the work happened once). Compare by hash:
+                # a process pool echoes back a pickled *copy* of the task, so
+                # object identity would attribute the time to nobody.
+                owner = job.job_hash == task.job.job_hash
                 merge(job, outcome.metrics,
-                      seconds=outcome.seconds if job is task.job else 0.0)
+                      seconds=outcome.seconds if owner else 0.0,
+                      hw_span=outcome.spans)
         if outcome.ok:
             book.store_hw(task.stage_hash, task.job, outcome.metrics,
                           outcome.seconds)

@@ -54,6 +54,8 @@ from ..methods.resources import (
     HessianStore,
     default_hessian_store,
 )
+from ..obs.metrics import METRICS
+from ..obs.trace import Span, trace
 from .activation import ActivationQuantizer
 
 __all__ = [
@@ -125,8 +127,14 @@ def _make_layer_kernel(
     base_params: Dict[str, Any],
     store: Optional[HessianStore],
     substrate: Optional[str],
+    parent_span: Optional[Span] = None,
 ):
-    """Bind a per-layer lifecycle driver for executor dispatch."""
+    """Bind a per-layer lifecycle driver for executor dispatch.
+
+    ``parent_span`` is the engine's open span: layer spans parent to it
+    explicitly because thread dispatch runs the kernel on pool threads,
+    where the tracer's thread-local stack doesn't see the engine span.
+    """
     quantizer = spec.make()
     # Methods that don't accept act_bits still get their activations
     # fake-quantized by the install loop — the old engine's contract.
@@ -137,19 +145,20 @@ def _make_layer_kernel(
         call["bits"] = w_bits
         if eff_act is not None:
             call["act_bits"] = eff_act
-        ctx = LayerContext(
-            name=task.name,
-            weights=task.weights,
-            calib_inputs=task.acts,
-            w_bits=w_bits,
-            act_bits=eff_act,
-            params=call,
-            hessian_store=store,
-            substrate=substrate,
-            spec=spec,
-        )
-        resources = quantizer.prepare(ctx)
-        return quantizer.quantize_layer(task.weights, resources, **call)
+        with trace("layer", parent=parent_span or None, layer=task.name):
+            ctx = LayerContext(
+                name=task.name,
+                weights=task.weights,
+                calib_inputs=task.acts,
+                w_bits=w_bits,
+                act_bits=eff_act,
+                params=call,
+                hessian_store=store,
+                substrate=substrate,
+                spec=spec,
+            )
+            resources = quantizer.prepare(ctx)
+            return quantizer.quantize_layer(task.weights, resources, **call)
 
     return kernel
 
@@ -240,46 +249,70 @@ def quantize_model(
         )
     store = hessian_store if hessian_store is not None else default_hessian_store()
     pool = _make_dispatcher(dispatch, workers)
-    kernel = _make_layer_kernel(
-        spec, w_bits, act_bits, quantizer_kwargs, store,
-        sub.name if sub is not None else None,
-    )
     report = QuantizationReport(spec.name, w_bits, act_bits)
+    METRICS.incr("engine.models")
 
-    if calibration == "parallel":
-        # One FP calibration pass, all layers in one stage: maximal reuse,
-        # no progressive requantization (the ablation arm).
-        stage_plan = [[name for group in groups for name in group]]
-        acts_all = model.collect_calibration(calib)
-    else:
-        stage_plan = groups
-        acts_all = None
+    with trace(
+        "engine",
+        method=spec.name,
+        w_bits=w_bits,
+        substrate=sub.name if sub is not None else "",
+        calibration=calibration,
+        dispatch=dispatch,
+    ) as engine_span:
+        kernel = _make_layer_kernel(
+            spec, w_bits, act_bits, quantizer_kwargs, store,
+            sub.name if sub is not None else None,
+            parent_span=engine_span or None,
+        )
 
-    for group in stage_plan:
-        acts = acts_all if acts_all is not None else model.collect_calibration(calib)
-        tasks = [_LayerTask(name, model.weights[name], acts[name]) for name in group]
-        results: Dict[str, Any] = {}
-        for outcome in pool.run(kernel, tasks):
-            if not outcome.ok:
-                raise RuntimeError(
-                    f"quantizing layer {outcome.job.name!r} failed: "
-                    f"{outcome.error['type']}: {outcome.error['message']}"
-                )
-            results[outcome.job.name] = outcome.metrics
-        # Install in forward order regardless of completion order.
-        for name in group:
-            result = results[name]
-            model.set_override(name, result.dequant)
-            act_q = result.meta.get("act_quantizer")
-            if act_bits is not None and act_q is None:
-                act_q = ActivationQuantizer(None, act_bits)
-            if act_q is not None:
-                model.act_quant[name] = act_q
-            report.layer_ebw[name] = result.ebw
-            report.layer_meta[name] = {
-                k: v for k, v in result.meta.items() if isinstance(v, (int, float, str))
-            }
-            packed = result.meta.get("packed")
-            if packed is not None:
-                report.layer_packed[name] = packed
+        if calibration == "parallel":
+            # One FP calibration pass, all layers in one stage: maximal
+            # reuse, no progressive requantization (the ablation arm).
+            stage_plan = [[name for group in groups for name in group]]
+            with trace("calibrate", layers=len(stage_plan[0])):
+                acts_all = model.collect_calibration(calib)
+            METRICS.incr("engine.calibration_passes")
+        else:
+            stage_plan = groups
+            acts_all = None
+
+        for group in stage_plan:
+            METRICS.incr("engine.groups")
+            METRICS.incr("engine.layers", len(group))
+            if acts_all is not None:
+                acts = acts_all
+            else:
+                with trace("calibrate", layers=len(group)):
+                    acts = model.collect_calibration(calib)
+                METRICS.incr("engine.calibration_passes")
+            tasks = [
+                _LayerTask(name, model.weights[name], acts[name]) for name in group
+            ]
+            results: Dict[str, Any] = {}
+            for outcome in pool.run(kernel, tasks):
+                if not outcome.ok:
+                    raise RuntimeError(
+                        f"quantizing layer {outcome.job.name!r} failed: "
+                        f"{outcome.error['type']}: {outcome.error['message']}"
+                    )
+                results[outcome.job.name] = outcome.metrics
+            # Install in forward order regardless of completion order.
+            for name in group:
+                result = results[name]
+                model.set_override(name, result.dequant)
+                act_q = result.meta.get("act_quantizer")
+                if act_bits is not None and act_q is None:
+                    act_q = ActivationQuantizer(None, act_bits)
+                if act_q is not None:
+                    model.act_quant[name] = act_q
+                report.layer_ebw[name] = result.ebw
+                report.layer_meta[name] = {
+                    k: v
+                    for k, v in result.meta.items()
+                    if isinstance(v, (int, float, str))
+                }
+                packed = result.meta.get("packed")
+                if packed is not None:
+                    report.layer_packed[name] = packed
     return report

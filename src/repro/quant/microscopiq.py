@@ -30,6 +30,7 @@ from ..formats.fp import FPFormat
 from ..formats.mx import outlier_format_for_bits, quantize_mx_fp_group
 from ..formats.scalar import int_max, pow2_scale_exponent
 from ..methods.resources import HessianBundle
+from ..obs.trace import traced
 from .config import MicroScopiQConfig
 from .kernel import BlockQuantKernel
 from .packed import PackedLayer
@@ -221,6 +222,7 @@ def _prune_and_quantize_outliers(
     return info
 
 
+@traced("kernel:quantize_matrix")
 def quantize_matrix(
     weights: np.ndarray,
     calib_inputs: np.ndarray | None = None,
