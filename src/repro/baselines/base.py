@@ -38,6 +38,36 @@ class BaselineResult:
         den = max(float(np.linalg.norm(calib @ reference.T)), 1e-12)
         return float(num / den)
 
+    def split_rows(self, sizes: list[int]) -> list["BaselineResult"]:
+        """Split a row-stacked result into per-layer results.
+
+        Used by the engine's shape-batched dispatch (methods whose spec
+        declares ``row_batchable``): the dequant rows are sliced per band,
+        a ``meta["packed"]`` :class:`~repro.quant.packed.PackedLayer` is
+        split via :meth:`PackedLayer.split_rows` (with each band's own EBW
+        recomputed from its packed metadata), and all other meta entries —
+        row-invariant by the ``row_batchable`` contract — are shared.
+        """
+        if sum(sizes) != self.dequant.shape[0]:
+            raise ValueError(
+                f"split_rows sizes {sizes} must sum to "
+                f"d_out={self.dequant.shape[0]}"
+            )
+        packed = self.meta.get("packed")
+        packed_parts = packed.split_rows(sizes) if packed is not None else None
+        parts: list[BaselineResult] = []
+        lo = 0
+        for i, n in enumerate(sizes):
+            hi = lo + n
+            meta = dict(self.meta)
+            ebw = self.ebw
+            if packed_parts is not None:
+                meta["packed"] = packed_parts[i]
+                ebw = packed_parts[i].ebw()
+            parts.append(BaselineResult(self.name, self.dequant[lo:hi], ebw, meta))
+            lo = hi
+        return parts
+
 
 def group_float_scale(
     block: np.ndarray, bits: int, clip_ratio: float = 1.0

@@ -12,6 +12,7 @@ import numpy as np
 
 from ..methods.resources import HessianBundle
 from ..quant.kernel import BlockQuantKernel
+from ..quant.vector import resolve_kernel_path
 from .base import BaselineResult, group_float_scale
 
 __all__ = ["quantize_gptq", "gptq_core"]
@@ -23,6 +24,7 @@ def gptq_core(
     bits_per_col: np.ndarray,
     group_size: int = 128,
     clip_ratio: float = 1.0,
+    kernel_path: str | None = None,
 ) -> np.ndarray:
     """Column-sequential GPTQ supporting a per-column bit-width.
 
@@ -36,12 +38,25 @@ def gptq_core(
     :class:`~repro.methods.resources.HessianBundle`; passing the bundle lets
     a multi-setting sweep reuse one Cholesky factorization instead of
     re-inverting ``H`` per setting.
+
+    ``kernel_path`` (default: :func:`~repro.quant.vector.resolve_kernel_path`)
+    selects the implementation. GPTQ recomputes *float* group scales from the
+    updated weights at every boundary, so any lazy-batch (GEMM) deferral of
+    the trailing updates reassociates their summation and perturbs the next
+    group's scale in the last ulp — unlike MicroScopiQ's fixed power-of-two
+    scales, that is observable. The ``"vector"`` path therefore keeps the
+    exact per-column update order and only strips the per-column
+    stage-dispatch overhead (the working-copy allocation per
+    ``propagate_block_error`` call); its wins come from the engine's
+    row-stacked shape batching, which is exactly row-independent. Both paths
+    are bit-identical — asserted against the golden snapshots.
     """
     w = np.array(weights, dtype=np.float64)
     d_out, d_in = w.shape
     u = HessianBundle.wrap(hessian).u_factor
     q = np.zeros_like(w)
     kernel = BlockQuantKernel(group_size, detect_outliers=False)
+    vector = resolve_kernel_path(kernel_path) == "vector"
     for lo, hi in kernel.blocks(d_in):
         group_bits = int(bits_per_col[lo])
         scale = group_float_scale(w[:, lo:hi], group_bits, clip_ratio)[:, 0]
@@ -52,7 +67,15 @@ def gptq_core(
             # scale but uses its own wider clip range.
             col_scale = scale * (2 ** (group_bits - 1) - 1) / maxq if bits != group_bits else scale
             q[:, p] = np.clip(np.rint(w[:, p] / col_scale), -maxq, maxq) * col_scale
-            kernel.propagate_block_error(w, q, u, p, p + 1)
+            if vector:
+                # Inlined single-column OBS update: identical float ops to
+                # propagate_block_error(w, q, u, p, p+1), minus its
+                # working-copy/slice machinery.
+                err = (w[:, p] - q[:, p]) / u[p, p]
+                if p + 1 < d_in:
+                    w[:, p + 1 :] -= np.outer(err, u[p, p + 1 :])
+            else:
+                kernel.propagate_block_error(w, q, u, p, p + 1)
     return q
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..quant.kernel import BlockQuantKernel
+from ..quant.vector import resolve_kernel_path
 from .base import BaselineResult, group_float_scale
 
 __all__ = ["quantize_olive"]
@@ -36,6 +37,22 @@ def _abfloat_encode(values: np.ndarray, bits: int) -> np.ndarray:
     return np.sign(values) * 2.0 ** (e + bias)
 
 
+def _abfloat_encode_each(values: np.ndarray, bits: int) -> np.ndarray:
+    """Elementwise abfloat: each value is its own group (adaptive bias from
+    itself) — exactly ``_abfloat_encode(values[i:i+1], bits)`` per element,
+    which is how OliVe encodes outliers in place."""
+    e_levels = 2 ** (bits - 1)
+    mag = np.abs(values)
+    out = np.zeros_like(values)
+    nz = mag > 0.0
+    if np.any(nz):
+        l2 = np.log2(mag[nz])
+        bias = np.floor(l2) - (e_levels - 1)
+        e = np.clip(np.rint(l2) - bias, 0, e_levels - 1)
+        out[nz] = np.sign(values[nz]) * 2.0 ** (e + bias)
+    return out
+
+
 def quantize_olive(
     weights: np.ndarray,
     calib_inputs: np.ndarray | None = None,
@@ -51,27 +68,46 @@ def quantize_olive(
     n_victim_outliers = 0
 
     kernel = BlockQuantKernel(group_size, sigma_threshold)
+    vector = resolve_kernel_path() == "vector"
     for lo, hi in kernel.blocks(d_in):
         block = w[:, lo:hi]
         omask = kernel.separate(block)
         scale = group_float_scale(np.where(omask, 0.0, block), bits)
         q = np.clip(np.rint(block / scale), -maxq, maxq) * scale
+        width = block.shape[1]
 
-        for r in range(d_out):
-            cols = np.nonzero(omask[r])[0]
-            victims: set[int] = set()
-            for c in cols:
-                if c in victims:
-                    continue  # this outlier was already destroyed as a victim
-                q[r, c] = _abfloat_encode(block[r, c : c + 1], bits)[0]
-                # The adjacent slot becomes the identifier: prune it — even
-                # if it is itself an outlier (OliVe's locality assumption).
-                victim = c + 1 if c + 1 < block.shape[1] else c - 1
+        if vector:
+            # Column-sequential scan over all rows at once: processing
+            # columns left-to-right with a per-row victim mask replays the
+            # reference per-row walk exactly (a column's victim flag can only
+            # be set by the column before it).
+            victimized = np.zeros_like(omask)
+            for c in np.nonzero(omask.any(axis=0))[0]:
+                sel = omask[:, c] & ~victimized[:, c]
+                if not sel.any():
+                    continue
+                q[sel, c] = _abfloat_encode_each(block[sel, c], bits)
+                victim = c + 1 if c + 1 < width else c - 1
                 if victim >= 0:
-                    if omask[r, victim]:
-                        n_victim_outliers += 1
-                    q[r, victim] = 0.0
-                    victims.add(victim)
+                    n_victim_outliers += int(np.count_nonzero(omask[sel, victim]))
+                    q[sel, victim] = 0.0
+                    victimized[sel, victim] = True
+        else:
+            for r in range(d_out):
+                cols = np.nonzero(omask[r])[0]
+                victims: set[int] = set()
+                for c in cols:
+                    if c in victims:
+                        continue  # this outlier was already destroyed as a victim
+                    q[r, c] = _abfloat_encode(block[r, c : c + 1], bits)[0]
+                    # The adjacent slot becomes the identifier: prune it — even
+                    # if it is itself an outlier (OliVe's locality assumption).
+                    victim = c + 1 if c + 1 < width else c - 1
+                    if victim >= 0:
+                        if omask[r, victim]:
+                            n_victim_outliers += 1
+                        q[r, victim] = 0.0
+                        victims.add(victim)
         dq[:, lo:hi] = q
 
     return BaselineResult(

@@ -169,6 +169,9 @@ def builtin_method_specs() -> tuple:
                 Param("per_tensor", False, (bool,), "one static scale for the whole tensor (QMamba-class)"),
             ),
             supports_per_tensor=True,
+            # Per-(row, group) scales; the engine additionally refuses to
+            # batch per_tensor=True calls (whole-tensor amax couples rows).
+            row_batchable=True,
         ),
         MethodSpec(
             name="gptq",
@@ -179,6 +182,7 @@ def builtin_method_specs() -> tuple:
                 Param("damp_ratio", 0.01, (float, int), "Hessian damping λ fraction"),
             ),
             needs_hessian=True,
+            row_batchable=True,  # per-row scales, per-row OBS updates
         ),
         MethodSpec(
             name="awq",
@@ -202,6 +206,9 @@ def builtin_method_specs() -> tuple:
             make=adapter(quantize_omniquant),
             params=(_group(),),
             act_aware=True,
+            # Weight-only LWC picks clip ratios per (row, group); the α-grid
+            # LET mode is excluded by the engine's weight-only batching gate.
+            row_batchable=True,
         ),
         MethodSpec(
             name="atom",
@@ -213,6 +220,9 @@ def builtin_method_specs() -> tuple:
             ),
             needs_hessian=True,
             act_aware=True,
+            # Channel order/bit map come from the (shared) calibration only;
+            # the underlying gptq_core is per-row.
+            row_batchable=True,
         ),
         MethodSpec(
             name="sdq",
@@ -223,6 +233,7 @@ def builtin_method_specs() -> tuple:
                 Param("sparse_n", 2, (int,), "reserved slots per sparse block"),
                 Param("sparse_m", 8, (int,), "sparse block size"),
             ),
+            row_batchable=True,  # N:M masks, scales, and LWC are all per-row
         ),
         MethodSpec(
             name="olive",
@@ -247,6 +258,10 @@ def builtin_method_specs() -> tuple:
             make=lambda: MicroScopiQAdapter(
                 quantize_microscopiq_baseline, hessian_kw=True
             ),
+            # Per-row inlier scales / μB walks / OBS rows. Deliberately NOT in
+            # ms_common: omni-microscopiq's config competition scores whole
+            # matrices and must stay unbatched.
+            row_batchable=True,
             **ms_common,
         ),
         MethodSpec(

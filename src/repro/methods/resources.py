@@ -84,23 +84,24 @@ class HessianBundle:
         acts: Optional[np.ndarray] = None,
         damp_ratio: float = 0.01,
         h: Optional[np.ndarray] = None,
-        loader=None,
         persist=None,
     ):
-        """``loader`` lazily resolves a dict of persisted factors (``h`` /
-        ``hinv_diag`` / ``u_factor``, any subset containing ``h``) from the
-        store's disk tier; ``persist`` is called with the bundle whenever a
-        persistable factor is first *computed*, so the tier accumulates
-        factors as they come into existence."""
-        if acts is None and h is None and loader is None:
-            raise ValueError("HessianBundle needs activations, a Hessian, or a loader")
-        self.acts = acts
+        """``persist`` is called with the bundle whenever a persistable
+        factor is first *computed*, so the store's disk tier accumulates
+        factors as they come into existence.
+
+        Memory contract: ``acts`` is held only as the raw material for a
+        future ``H`` build and is dropped the moment ``h`` materializes —
+        a store full of bundles must not pin every layer's ``[n, d_in]``
+        calibration matrix for the life of the LRU."""
+        if acts is None and h is None:
+            raise ValueError("HessianBundle needs activations or a Hessian")
+        self.acts = acts if h is None else None
         self.damp_ratio = float(damp_ratio)
         self._h = h
         self._hinv: Optional[np.ndarray] = None
         self._hinv_diag: Optional[np.ndarray] = None
         self._u: Optional[np.ndarray] = None
-        self._loader = loader
         self._persist = persist
         self._lock = threading.RLock()
         self.h_builds = 0
@@ -114,6 +115,17 @@ class HessianBundle:
         if isinstance(hessian, HessianBundle):
             return hessian
         return cls(h=np.asarray(hessian))
+
+    @classmethod
+    def from_factors(
+        cls, factors: dict, damp_ratio: float, persist=None
+    ) -> "HessianBundle":
+        """A bundle over disk-tier factors (``h`` required, ``hinv_diag`` /
+        ``u_factor`` optional) — never holds the calibration activations."""
+        made = cls(h=factors["h"], damp_ratio=damp_ratio, persist=persist)
+        made._hinv_diag = factors.get("hinv_diag")
+        made._u = factors.get("u_factor")
+        return made
 
     # ----------------------------------------------------------- lazy factors
     def _persist_now(self) -> None:
@@ -135,24 +147,15 @@ class HessianBundle:
 
     @property
     def h(self) -> np.ndarray:
-        """The damped layer Hessian, built / loaded on first access."""
+        """The damped layer Hessian, built on first access."""
         with self._lock:
             if self._h is None:
-                if self._loader is not None:
-                    loaded = self._loader() or {}
-                    self._loader = None
-                    self._h = loaded.get("h")
-                    # Factors persisted by an earlier process ride along, so
-                    # a fresh interpreter pays zero O(d³) work for them.
-                    self._hinv_diag = loaded.get("hinv_diag")
-                    self._u = loaded.get("u_factor")
-                if self._h is None:
-                    from ..quant.hessian import layer_hessian
+                from ..quant.hessian import layer_hessian
 
-                    self._h = layer_hessian(self.acts, self.damp_ratio)
-                    self.h_builds += 1
-                    METRICS.incr("hessian.store.h_builds")
-                    self._persist_now()
+                self._h = layer_hessian(self.acts, self.damp_ratio)
+                self.h_builds += 1
+                METRICS.incr("hessian.store.h_builds")
+                self._persist_now()
                 # H is all any factor needs from here on; dropping the
                 # activation reference keeps a store full of bundles from
                 # pinning every layer's [n, d_in] calibration matrix.
@@ -181,8 +184,6 @@ class HessianBundle:
         """``diag(H⁻¹)`` — the OBS pruning-saliency denominators."""
         with self._lock:
             if self._hinv_diag is None:
-                self.h  # resolve the loader first: disk may hold the factor
-            if self._hinv_diag is None:
                 self._hinv_diag = np.diag(self.hinv).copy()
                 self._persist_now()
             return self._hinv_diag
@@ -191,8 +192,6 @@ class HessianBundle:
     def u_factor(self) -> np.ndarray:
         """Upper Cholesky factor ``U`` with ``H⁻¹ = UᵀU`` (GPTQ's form)."""
         with self._lock:
-            if self._u is None:
-                self.h  # resolve the loader first: disk may hold the factor
             if self._u is None:
                 low = np.linalg.cholesky(self.hinv)
                 self._u = np.ascontiguousarray(low.T)
@@ -235,7 +234,9 @@ class HessianStore:
         self.max_entries = int(max_entries)
         self.disk_root = Path(disk_root) if disk_root is not None else None
         self._data: "OrderedDict[str, HessianBundle]" = OrderedDict()
-        self._lock = threading.Lock()
+        # Reentrant: a corrupt-blob load inside `bundle` re-classifies the
+        # hit/miss counters under this same lock.
+        self._lock = threading.RLock()
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -260,7 +261,7 @@ class HessianStore:
         return self.disk_root / key[:2] / f"{key}.npy"
 
     def _disk_loader(self, key: str):
-        """A lazy factor-dict loader for an on-disk blob; ``None`` if absent.
+        """A factor-dict loader for an on-disk blob; ``None`` if absent.
 
         The blob is an ``.npz`` of version-tagged factor arrays; whatever
         subset is present (and loads cleanly) is returned. A blob that
@@ -332,7 +333,16 @@ class HessianStore:
 
     # ----------------------------------------------------------------- reads
     def bundle(self, acts: np.ndarray, damp_ratio: float) -> HessianBundle:
-        """The (cached) factor bundle for these activations + damping."""
+        """The (cached) factor bundle for these activations + damping.
+
+        A disk-tier blob is resolved *eagerly* here: a bundle served from
+        disk is built over the loaded factors and never references ``acts``,
+        so a store full of disk-hit bundles pins no calibration matrices
+        (bundles that must build ``H`` themselves hold ``acts`` only until
+        the first build — see :class:`HessianBundle`). Only a corrupt blob
+        falls back to an activation-holding bundle, with the counters
+        re-classified at that point.
+        """
         key = self.fingerprint(acts, damp_ratio)
         with self._lock:
             found = self._data.get(key)
@@ -342,18 +352,22 @@ class HessianStore:
                 self._data.move_to_end(key)
                 return found
             loader = self._disk_loader(key)
+            loaded = None
             if loader is not None:
                 self.disk_hits += 1
                 METRICS.incr("hessian.store.disk_hits")
+                loaded = loader()  # a failure re-classifies the hit as a miss
             else:
                 self.misses += 1
                 METRICS.incr("hessian.store.misses")
-            made = HessianBundle(
-                acts,
-                damp_ratio,
-                loader=loader,
-                persist=self._disk_writer(key),
-            )
+            if loaded is not None:
+                made = HessianBundle.from_factors(
+                    loaded, damp_ratio, persist=self._disk_writer(key)
+                )
+            else:
+                made = HessianBundle(
+                    acts, damp_ratio, persist=self._disk_writer(key)
+                )
             self._data[key] = made
             while len(self._data) > self.max_entries:
                 self._data.popitem(last=False)

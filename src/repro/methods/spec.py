@@ -183,6 +183,17 @@ class MethodSpec:
             lifts into measured hardware workloads
             (:meth:`repro.hw.LayerSpec.from_packed`). Methods without it
             cannot run ``kind="codesign"`` jobs.
+        row_batchable: the kernel is exactly row-independent in weight-only
+            mode — quantizing ``vstack(W_a, W_b)`` against shared calibration
+            inputs yields bit-identical rows to quantizing ``W_a`` and
+            ``W_b`` separately. The engine's vector path uses this to stack
+            same-shape layers of a calibration group into one kernel
+            invocation (see :func:`repro.quant.engine.quantize_model`).
+            Methods with any cross-row coupling (AWQ's whole-matrix α
+            search, GoBo's global k-means, SmoothQuant's per-column
+            ``max|W|`` migration scales, OliVe's aggregate victim counter,
+            Omni-MicroScopiQ's whole-matrix config competition) must leave
+            this False.
         supported_substrates: workload classes the method can quantize;
             ``None`` means every registered substrate.
         damp_param: which parameter carries the Hessian damping λ.
@@ -203,6 +214,7 @@ class MethodSpec:
     act_aware: bool = False
     supports_per_tensor: bool = False
     exports_packed: bool = False
+    row_batchable: bool = False
     group_param: Optional[str] = "group_size"
     supported_substrates: Optional[Tuple[str, ...]] = None
     damp_param: str = "damp_ratio"
@@ -321,6 +333,7 @@ class MethodSpec:
             "act": self.act_aware,
             "per_tensor": self.supports_per_tensor,
             "packed": self.exports_packed,
+            "row_batchable": self.row_batchable,
             "group_param": self.group_param,
             "substrates": (
                 "all"

@@ -81,8 +81,16 @@ class ConvNet:
     def _w(self, name: str) -> np.ndarray:
         return self.overrides.get(name, self.weights[name])
 
-    def forward(self, images: np.ndarray, capture: dict | None = None) -> np.ndarray:
-        """Logits for ``[b, 3, h, w]`` images (stride-2 pooling per stage)."""
+    def forward(
+        self,
+        images: np.ndarray,
+        capture: dict | None = None,
+        stop_after_stage: int | None = None,
+    ) -> np.ndarray:
+        """Logits for ``[b, 3, h, w]`` images (stride-2 pooling per stage).
+
+        ``stop_after_stage=i`` returns stage ``i``'s feature map without the
+        pool/head (the targeted-calibration fast path)."""
         x = images
         for i in range(len(self.profile.channels)):
             name = f"conv{i}"
@@ -98,13 +106,25 @@ class ConvNet:
             out = np.maximum(out, 0.0)  # ReLU
             out = out.reshape(b, h, w, -1).transpose(0, 3, 1, 2)
             x = out[:, :, ::2, ::2]  # stride-2 downsample
+            if stop_after_stage is not None and i >= stop_after_stage:
+                return x
         feats = x.mean(axis=(2, 3))  # global average pool
         return feats @ self.head.T
 
-    def collect_calibration(self, images: np.ndarray) -> Dict[str, np.ndarray]:
+    def collect_calibration(
+        self, images: np.ndarray, names: list | None = None
+    ) -> Dict[str, np.ndarray]:
         capture: Dict[str, list] = {}
-        self.forward(images, capture=capture)
-        return {k: np.concatenate(v, axis=0) for k, v in capture.items()}
+        stop = None
+        if names is not None:
+            names = list(names)
+            stop = max(int(n[4:]) for n in names)  # "conv3" -> 3
+        self.forward(images, capture=capture, stop_after_stage=stop)
+        return {
+            k: np.concatenate(v, axis=0)
+            for k, v in capture.items()
+            if names is None or k in names
+        }
 
     def set_override(self, name: str, weight: np.ndarray) -> None:
         if weight.shape != self.weights[name].shape:

@@ -80,8 +80,17 @@ class SelectiveScanModel:
             x = aq(x)
         return x @ self._w(name).T
 
-    def forward(self, seqs: np.ndarray, capture: dict | None = None) -> np.ndarray:
-        """Logits for input sequences ``[b, seq_len, d_model]``."""
+    def forward(
+        self,
+        seqs: np.ndarray,
+        capture: dict | None = None,
+        stop_before_out: bool = False,
+    ) -> np.ndarray:
+        """Logits for input sequences ``[b, seq_len, d_model]``.
+
+        ``stop_before_out`` returns the final scan state without the output
+        projection/head. The scan itself can't stop early — the in-loop
+        linears see every timestep — so this only trims the tail."""
         b, t, _ = seqs.shape
         h = np.zeros((b, self.profile.d_state))
         for i in range(t):
@@ -90,13 +99,22 @@ class SelectiveScanModel:
             a = _sigmoid(self._linear("w_gate_a", x, capture))
             bgate = _sigmoid(self._linear("w_gate_b", x, capture))
             h = a * h + bgate * u
+        if stop_before_out:
+            return h
         y = self._linear("w_out", h, capture)
         return y @ self.head.T
 
-    def collect_calibration(self, seqs: np.ndarray) -> Dict[str, np.ndarray]:
+    def collect_calibration(
+        self, seqs: np.ndarray, names: list | None = None
+    ) -> Dict[str, np.ndarray]:
         capture: Dict[str, list] = {}
-        self.forward(seqs, capture=capture)
-        return {k: np.concatenate(v, axis=0) for k, v in capture.items()}
+        skip_out = names is not None and "w_out" not in names
+        self.forward(seqs, capture=capture, stop_before_out=skip_out)
+        return {
+            k: np.concatenate(v, axis=0)
+            for k, v in capture.items()
+            if names is None or k in names
+        }
 
     def set_override(self, name: str, weight: np.ndarray) -> None:
         if weight.shape != self.weights[name].shape:

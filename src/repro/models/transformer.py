@@ -19,7 +19,7 @@ The class exposes exactly what a PTQ framework needs:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 import numpy as np
 
@@ -107,8 +107,19 @@ class TransformerLM:
         return x @ self._w(name).T
 
     # -------------------------------------------------------------- forward
-    def forward(self, tokens: np.ndarray, capture: Optional[dict] = None) -> np.ndarray:
-        """Logits ``[batch, seq, vocab]`` for token ids ``[batch, seq]``."""
+    def forward(
+        self,
+        tokens: np.ndarray,
+        capture: Optional[dict] = None,
+        stop_after_layer: Optional[int] = None,
+    ) -> np.ndarray:
+        """Logits ``[batch, seq, vocab]`` for token ids ``[batch, seq]``.
+
+        ``stop_after_layer=i`` returns the residual stream after block ``i``
+        without the final norm/logits head — the capture-only fast path for
+        targeted calibration (everything computed up to the stop is
+        identical to the full forward).
+        """
         tokens = np.atleast_2d(tokens)
         b, seq = tokens.shape
         p = self.profile
@@ -139,6 +150,8 @@ class TransformerLM:
             gate = _silu(self._linear(f"layers.{i}.w1", x, capture))
             up = self._linear(f"layers.{i}.w3", x, capture)
             h = h + self._linear(f"layers.{i}.w2", gate * up, capture)
+            if stop_after_layer is not None and i >= stop_after_layer:
+                return h
 
         h = _rmsnorm(h)
         return (h @ self.embed.T) * self.profile.logit_gain
@@ -147,11 +160,29 @@ class TransformerLM:
         return self.forward(tokens)
 
     # ---------------------------------------------------------- calibration
-    def collect_calibration(self, tokens: np.ndarray) -> Dict[str, np.ndarray]:
-        """Inputs seen by each linear during a forward pass over ``tokens``."""
+    def collect_calibration(
+        self, tokens: np.ndarray, names: Optional[Iterable[str]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Inputs seen by each linear during a forward pass over ``tokens``.
+
+        ``names`` restricts the collection to those linears: the forward
+        stops after the deepest block any of them lives in and skips the
+        vocab-sized logits head, which the engine's sequential calibration
+        exploits (one group per pass). The captured activations are
+        bit-identical to a full collection — the forward prefix is the same
+        computation.
+        """
         capture: Dict[str, list] = {}
-        self.forward(tokens, capture=capture)
-        return {name: np.concatenate(chunks, axis=0) for name, chunks in capture.items()}
+        stop = None
+        if names is not None:
+            names = list(names)
+            stop = max(int(n.split(".")[1]) for n in names)
+        self.forward(tokens, capture=capture, stop_after_layer=stop)
+        return {
+            name: np.concatenate(chunks, axis=0)
+            for name, chunks in capture.items()
+            if names is None or name in names
+        }
 
     # ------------------------------------------------------------- sampling
     def sample(

@@ -250,6 +250,10 @@ def render_run(record: Dict[str, Any], slowest: int = 8) -> List[str]:
         ("hessian.store.", "hessian"),
         ("result_cache.", "result-cache"),
         ("engine.", "engine"),
+        # Kernel-path attribution: how many quantize_matrix calls ran on the
+        # vector fast path vs. the reference walk (REPRO_KERNEL / the
+        # engine's kernel_path knob).
+        ("quant.kernel.", "kernel"),
     ):
         row = {
             k[len(prefix):]: v for k, v in sorted(counters.items()) if k.startswith(prefix)
@@ -257,6 +261,26 @@ def render_run(record: Dict[str, Any], slowest: int = 8) -> List[str]:
         if row:
             lines.append(
                 f"  {title}: " + ", ".join(f"{k}={int(v)}" for k, v in row.items())
+            )
+    spans = record.get("spans")
+    if isinstance(spans, dict):
+        # Span-based kernel-path attribution: wall self-time actually spent
+        # inside quantize_matrix, split by path (complements the call
+        # counters above with where the time went).
+        by_path: Dict[str, float] = {}
+        calls: Dict[str, int] = {}
+        for node, _depth in walk_spans(spans):
+            if node.get("name") == "kernel:quantize_matrix":
+                path = str((node.get("attrs") or {}).get("path", "?"))
+                by_path[path] = by_path.get(path, 0.0) + span_self_seconds(node)
+                calls[path] = calls.get(path, 0) + 1
+        if by_path:
+            lines.append(
+                "  kernel self-time: "
+                + ", ".join(
+                    f"{path}={secs:.3f}s/{calls[path]} calls"
+                    for path, secs in sorted(by_path.items())
+                )
             )
     jobs = [j for j in record.get("jobs", []) if not j.get("from_cache")]
     jobs.sort(key=lambda j: -float(j.get("seconds", 0.0)))

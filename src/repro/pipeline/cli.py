@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -191,6 +192,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", default="auto",
         help="metric column to pivot on; 'auto' uses each substrate's task "
              "metric (ppl / caption_score / top1 / nll)",
+    )
+    sweep.add_argument(
+        "--kernel-path", choices=("vector", "reference"), default=None,
+        help="quantization kernel implementation for this sweep's jobs "
+             "(default: REPRO_KERNEL env, else 'vector'; the two are "
+             "bit-identical — 'reference' exists for perf comparison and "
+             "debugging)",
+    )
+    sweep.add_argument(
+        "--pareto", nargs=2, metavar=("X", "Y"), default=None,
+        help="print the per-family Pareto frontier over two metrics instead "
+             "of the pivot table (e.g. --pareto auto energy_nj: quality vs. "
+             "energy; only jobs carrying both metrics contribute)",
     )
     sweep.add_argument("--json", dest="json_out", metavar="PATH",
                        help="write per-job records as JSON")
@@ -484,6 +498,24 @@ def _print_pivot(result, metric: str) -> None:
         print(fam.ljust(fam_w) + "".join(cells))
 
 
+def _print_pareto(result, x: str, y: str) -> None:
+    frontiers = result.pareto(x, y)
+    if not any(frontiers.values()):
+        print(f"no jobs carry both {x!r} and {y!r} metrics "
+              "(the Pareto view needs codesign-style jobs)")
+        return
+    for family, points in frontiers.items():
+        if not points:
+            continue
+        xn, yn = points[0]["x_metric"], points[0]["y_metric"]
+        print(f"{family} — Pareto frontier ({xn} vs {yn}), "
+              f"{len(points)} non-dominated:")
+        label_w = max(len(p["label"]) for p in points) + 2
+        for p in points:
+            print(f"  {p['label'].ljust(label_w)}"
+                  f"{xn}={p['x']:.4g}  {yn}={p['y']:.4g}")
+
+
 def _route_params(args: argparse.Namespace):
     """Turn repeated ``--param`` flags into SweepSpec parameter fields.
 
@@ -585,15 +617,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    result = run_sweep(
-        spec,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        executor=args.executor,
-        workers=args.workers,
-        progress=not args.quiet,
-        recompute=args.recompute,
-        trace=args.trace,
+    from contextlib import nullcontext
+
+    from ..quant.vector import KERNEL_PATH_ENV, use_kernel_path
+
+    # Process-pool workers inherit the choice through REPRO_KERNEL instead
+    # of the in-process override; kernel_path is not part of job identity
+    # (both paths are bit-identical), so cached results stay valid.
+    kernel_ctx = (
+        use_kernel_path(args.kernel_path) if args.kernel_path else nullcontext()
     )
+    if args.kernel_path and args.executor == "process":
+        os.environ[KERNEL_PATH_ENV] = args.kernel_path
+    with kernel_ctx:
+        result = run_sweep(
+            spec,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            executor=args.executor,
+            workers=args.workers,
+            progress=not args.quiet,
+            recompute=args.recompute,
+            trace=args.trace,
+        )
     t = result.telemetry
     stages = ""
     if t.get("quant_stage_hits") or t.get("hw_stage_hits"):
@@ -617,7 +662,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if t.get("run_id"):
         print(f"run {t['run_id']} appended to "
               f"{args.cache_dir}/runs/runs.jsonl (see 'repro-sweep report')")
-    _print_pivot(result, args.metric)
+    if args.pareto:
+        _print_pareto(result, args.pareto[0], args.pareto[1])
+    else:
+        _print_pivot(result, args.metric)
     for o in result.failures():
         print(f"FAILED {o.job.label}: {o.error['type']}: {o.error['message']}",
               file=sys.stderr)

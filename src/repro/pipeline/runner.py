@@ -325,6 +325,81 @@ class SweepResult:
             out.setdefault(r, {})[c] = o.metrics.get(name)
         return out
 
+    def pareto(
+        self,
+        x: str = "auto",
+        y: str = "energy_nj",
+        *,
+        group_by: str = "family",
+        maximize_x: Optional[bool] = None,
+        maximize_y: bool = False,
+    ) -> Dict[Any, List[Dict[str, Any]]]:
+        """Per-group non-dominated frontiers over two metrics.
+
+        The co-design question in one call: for each ``group_by`` value
+        (family, by default), which settings are Pareto-optimal on
+        ``(x, y)`` — typically the substrate's quality metric vs. the
+        hardware stage's ``energy_nj``? Only jobs carrying *both* metrics
+        contribute (codesign jobs do; pure accuracy or pure hw jobs are
+        skipped, like :meth:`pivot`'s leniency).
+
+        ``x="auto"`` resolves per job through :func:`resolve_metric`, and
+        ``maximize_x=None`` then follows the substrate's metric direction
+        (``top1``/``caption_score`` maximize, ``ppl``/``nll`` minimize);
+        ``y`` defaults to ``energy_nj``, minimized. Returns
+        ``{group: [point, ...]}`` with each point a JSON-able dict
+        (``label`` / ``method`` / ``x_metric`` / ``x`` / ``y_metric`` /
+        ``y``), frontier sorted by ``x`` ascending.
+        """
+        from ..core.substrate import get_substrate
+
+        grouped: Dict[Any, List[Dict[str, Any]]] = {}
+        for o in self.outcomes:
+            if o.metrics is None:
+                continue
+            xn = resolve_metric(o) if x == "auto" else x
+            yn = resolve_metric(o) if y == "auto" else y
+            if xn not in o.metrics or yn not in o.metrics:
+                continue
+            if maximize_x is None:
+                mx = x == "auto" and get_substrate(
+                    o.job.spec.substrate
+                ).higher_is_better
+            else:
+                mx = maximize_x
+            point = {
+                "label": o.job.label,
+                "method": o.job.spec.method,
+                "x_metric": xn,
+                "x": float(o.metrics[xn]),
+                "y_metric": yn,
+                "y": float(o.metrics[yn]),
+                # Oriented (minimize-both) coordinates for the dominance test.
+                "_ox": -float(o.metrics[xn]) if mx else float(o.metrics[xn]),
+                "_oy": -float(o.metrics[yn]) if maximize_y else float(o.metrics[yn]),
+            }
+            grouped.setdefault(getattr(o.job.spec, group_by), []).append(point)
+
+        out: Dict[Any, List[Dict[str, Any]]] = {}
+        for group, points in grouped.items():
+            frontier = [
+                a
+                for a in points
+                if not any(
+                    b is not a
+                    and b["_ox"] <= a["_ox"]
+                    and b["_oy"] <= a["_oy"]
+                    and (b["_ox"] < a["_ox"] or b["_oy"] < a["_oy"])
+                    for b in points
+                )
+            ]
+            frontier.sort(key=lambda p: p["x"])
+            out[group] = [
+                {k: v for k, v in p.items() if not k.startswith("_")}
+                for p in frontier
+            ]
+        return out
+
     def by_label(self, metric: Optional[str] = None) -> Dict[str, Any]:
         """``{job label: metrics (or one metric)}`` for explicit-step sweeps."""
         out: Dict[str, Any] = {}

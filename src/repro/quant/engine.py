@@ -43,6 +43,7 @@ cost on later layers.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
@@ -57,6 +58,7 @@ from ..methods.resources import (
 from ..obs.metrics import METRICS
 from ..obs.trace import Span, trace
 from .activation import ActivationQuantizer
+from .vector import resolve_kernel_path, use_kernel_path
 
 __all__ = [
     "CALIBRATION_MODES",
@@ -120,6 +122,62 @@ class _LayerTask:
         return self.name
 
 
+@dataclass
+class _BatchTask:
+    """Several same-shape layers row-stacked into one kernel invocation.
+
+    The vector path's shape batching: layers of one calibration group whose
+    weights share ``d_in`` and whose calibration inputs are byte-identical
+    are quantized as a single ``[sum(d_out), d_in]`` matrix (legal only for
+    ``row_batchable`` methods in weight-only mode) and split back per layer
+    afterwards — bit-identical to dispatching them separately, but the
+    kernel's per-column work amortizes across the stacked rows.
+    """
+
+    names: List[str]
+    weights: np.ndarray  # vstack of the member layers' weights
+    acts: np.ndarray  # the shared calibration inputs
+    sizes: List[int]  # member d_out's, in `names` order
+
+    @property
+    def name(self) -> str:
+        return "+".join(self.names)
+
+    @property
+    def label(self) -> str:
+        return f"batch({self.name})"
+
+
+def _coalesce_tasks(tasks: List[_LayerTask]) -> List[Any]:
+    """Group same-(d_in, calibration) layers into :class:`_BatchTask`\\ s.
+
+    Singleton groups stay plain :class:`_LayerTask`\\ s. The calibration key
+    is a content fingerprint, not an identity check, so substrates that
+    return equal-but-distinct activation arrays per layer still coalesce.
+    """
+    buckets: Dict[Any, List[_LayerTask]] = {}
+    for task in tasks:
+        key = (
+            task.weights.shape[1],
+            HessianStore.fingerprint(task.acts, 0.0),
+        )
+        buckets.setdefault(key, []).append(task)
+    units: List[Any] = []
+    for members in buckets.values():
+        if len(members) < 2:
+            units.extend(members)
+            continue
+        units.append(
+            _BatchTask(
+                names=[t.name for t in members],
+                weights=np.vstack([t.weights for t in members]),
+                acts=members[0].acts,
+                sizes=[t.weights.shape[0] for t in members],
+            )
+        )
+    return units
+
+
 def _make_layer_kernel(
     spec: MethodSpec,
     w_bits: int,
@@ -140,25 +198,38 @@ def _make_layer_kernel(
     # fake-quantized by the install loop — the old engine's contract.
     eff_act = act_bits if spec.act_aware else None
 
-    def kernel(task: _LayerTask):
+    def run_one(task) -> Any:
         call = dict(base_params)
         call["bits"] = w_bits
         if eff_act is not None:
             call["act_bits"] = eff_act
+        ctx = LayerContext(
+            name=task.name,
+            weights=task.weights,
+            calib_inputs=task.acts,
+            w_bits=w_bits,
+            act_bits=eff_act,
+            params=call,
+            hessian_store=store,
+            substrate=substrate,
+            spec=spec,
+        )
+        resources = quantizer.prepare(ctx)
+        return quantizer.quantize_layer(task.weights, resources, **call)
+
+    def kernel(task):
+        if isinstance(task, _BatchTask):
+            with trace(
+                "layer_batch",
+                parent=parent_span or None,
+                layers=task.name,
+                count=len(task.names),
+            ):
+                METRICS.incr("engine.layer_batches")
+                METRICS.incr("engine.batched_layers", len(task.names))
+                return run_one(task).split_rows(task.sizes)
         with trace("layer", parent=parent_span or None, layer=task.name):
-            ctx = LayerContext(
-                name=task.name,
-                weights=task.weights,
-                calib_inputs=task.acts,
-                w_bits=w_bits,
-                act_bits=eff_act,
-                params=call,
-                hessian_store=store,
-                substrate=substrate,
-                spec=spec,
-            )
-            resources = quantizer.prepare(ctx)
-            return quantizer.quantize_layer(task.weights, resources, **call)
+            return run_one(task)
 
     return kernel
 
@@ -184,6 +255,7 @@ def quantize_model(
     workers: Optional[int] = None,
     hessian_store: Optional[HessianStore] = None,
     groups: Optional[List[List[str]]] = None,
+    kernel_path: Optional[str] = None,
     **quantizer_kwargs,
 ) -> QuantizationReport:
     """Quantize every linear of ``model`` in place (via overrides).
@@ -212,6 +284,13 @@ def quantize_model(
             (whose disk tier attaches from ``REPRO_HESSIAN_DIR``).
         groups: calibration groups override; defaults to the substrate
             registry's grouping (singletons for unregistered models).
+        kernel_path: ``"vector"`` (default) or ``"reference"`` — resolved via
+            :func:`~repro.quant.vector.resolve_kernel_path` (explicit arg >
+            ``use_kernel_path`` override > ``REPRO_KERNEL`` env). On the
+            vector path, methods whose spec declares ``row_batchable`` have
+            same-shape layers of a calibration group row-stacked into one
+            kernel invocation (weight-only mode; bit-identical to separate
+            dispatch, asserted in ``tests/test_vector_kernel.py``).
     """
     if calibration not in CALIBRATION_MODES:
         raise ValueError(
@@ -252,6 +331,17 @@ def quantize_model(
     report = QuantizationReport(spec.name, w_bits, act_bits)
     METRICS.incr("engine.models")
 
+    path = resolve_kernel_path(kernel_path)
+    # Row-stacking is legal only when the kernel call is exactly
+    # row-independent: batchable method, weight-only mode (act_bits would
+    # reach the kernel otherwise), and no whole-tensor scale.
+    batchable = (
+        path == "vector"
+        and spec.row_batchable
+        and (act_bits is None or not spec.act_aware)
+        and not quantizer_kwargs.get("per_tensor")
+    )
+
     with trace(
         "engine",
         method=spec.name,
@@ -259,6 +349,7 @@ def quantize_model(
         substrate=sub.name if sub is not None else "",
         calibration=calibration,
         dispatch=dispatch,
+        kernel_path=path,
     ) as engine_span:
         kernel = _make_layer_kernel(
             spec, w_bits, act_bits, quantizer_kwargs, store,
@@ -276,6 +367,17 @@ def quantize_model(
         else:
             stage_plan = groups
             acts_all = None
+            # Targeted calibration: substrates whose collect_calibration
+            # accepts ``names`` stop the forward at the deepest layer the
+            # group needs and skip the logits head. Bit-identical (the
+            # forward prefix is the same computation); duck-typed models
+            # without the parameter get the full collection.
+            try:
+                targeted = "names" in inspect.signature(
+                    model.collect_calibration
+                ).parameters
+            except (TypeError, ValueError):
+                targeted = False
 
         for group in stage_plan:
             METRICS.incr("engine.groups")
@@ -284,19 +386,27 @@ def quantize_model(
                 acts = acts_all
             else:
                 with trace("calibrate", layers=len(group)):
-                    acts = model.collect_calibration(calib)
+                    if targeted:
+                        acts = model.collect_calibration(calib, names=group)
+                    else:
+                        acts = model.collect_calibration(calib)
                 METRICS.incr("engine.calibration_passes")
             tasks = [
                 _LayerTask(name, model.weights[name], acts[name]) for name in group
             ]
+            units = _coalesce_tasks(tasks) if batchable else tasks
             results: Dict[str, Any] = {}
-            for outcome in pool.run(kernel, tasks):
-                if not outcome.ok:
-                    raise RuntimeError(
-                        f"quantizing layer {outcome.job.name!r} failed: "
-                        f"{outcome.error['type']}: {outcome.error['message']}"
-                    )
-                results[outcome.job.name] = outcome.metrics
+            with use_kernel_path(path):
+                for outcome in pool.run(kernel, units):
+                    if not outcome.ok:
+                        raise RuntimeError(
+                            f"quantizing layer {outcome.job.name!r} failed: "
+                            f"{outcome.error['type']}: {outcome.error['message']}"
+                        )
+                    if isinstance(outcome.job, _BatchTask):
+                        results.update(zip(outcome.job.names, outcome.metrics))
+                    else:
+                        results[outcome.job.name] = outcome.metrics
             # Install in forward order regardless of completion order.
             for name in group:
                 result = results[name]

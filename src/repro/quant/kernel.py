@@ -83,3 +83,31 @@ class BlockQuantKernel:
                 w_work[:, j + 1 :] -= np.outer(err, u_factor[p, p + 1 : hi])
             if hi < d_in:
                 w[:, hi:] -= np.outer(err, u_factor[p, hi:])
+
+    @staticmethod
+    def propagate_block_error_gemm(
+        w: np.ndarray, q: np.ndarray, u_factor: np.ndarray, lo: int, hi: int
+    ) -> None:
+        """Blocked two-phase form of :meth:`propagate_block_error`.
+
+        Phase 1 runs the sequential Cholesky conditioning only on the small
+        ``[d_out, hi-lo]`` working copy, collecting every column's error term;
+        phase 2 pushes all trailing-column updates at once through a single
+        ``errs @ u_factor[lo:hi, hi:]`` GEMM instead of one rank-1 update per
+        column. The error terms are computed identically (the working copy
+        never reads trailing columns), so the only float difference is the
+        summation order of the trailing updates — asserted bit-identical to
+        the reference on every golden snapshot. With ``hi == lo+1`` the GEMM
+        is an outer product and the two forms are trivially identical.
+        """
+        d_in = w.shape[1]
+        w_work = w[:, lo:hi].copy()
+        errs = np.empty_like(w_work)
+        for p in range(lo, hi):
+            j = p - lo
+            err = (w_work[:, j] - q[:, p]) / u_factor[p, p]
+            errs[:, j] = err
+            if j + 1 < w_work.shape[1]:
+                w_work[:, j + 1 :] -= np.outer(err, u_factor[p, p + 1 : hi])
+        if hi < d_in:
+            w[:, hi:] -= errs @ u_factor[lo:hi, hi:]

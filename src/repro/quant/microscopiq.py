@@ -30,10 +30,12 @@ from ..formats.fp import FPFormat
 from ..formats.mx import outlier_format_for_bits, quantize_mx_fp_group
 from ..formats.scalar import int_max, pow2_scale_exponent
 from ..methods.resources import HessianBundle
-from ..obs.trace import traced
+from ..obs.metrics import METRICS
+from ..obs.trace import trace
 from .config import MicroScopiQConfig
 from .kernel import BlockQuantKernel
 from .packed import PackedLayer
+from .vector import resolve_kernel_path, vector_ub_quantize
 
 __all__ = ["quantize_matrix", "quantize_microscopiq"]
 
@@ -222,12 +224,41 @@ def _prune_and_quantize_outliers(
     return info
 
 
-@traced("kernel:quantize_matrix")
+def _record_ub_meta(
+    meta,
+    row_ids: np.ndarray,
+    ub_ids: np.ndarray,
+    col_base: np.ndarray,
+    out_mask: np.ndarray,
+    pruned: np.ndarray,
+    ub_count: np.ndarray,
+    ub_scale: np.ndarray,
+    perm_lists: dict,
+) -> None:
+    """Scatter one μB batch's :class:`~repro.quant.vector.UbRowMeta` into the
+    global packer arrays. ``row_ids`` / ``ub_ids`` / ``col_base`` map each
+    batch row to its matrix row, μB index, and μB start column."""
+    rsel, jsel = np.nonzero(meta.out_valid)
+    out_mask[row_ids[rsel], col_base[rsel] + meta.out_idx[rsel, jsel]] = True
+    if meta.prune_idx.shape[1]:
+        psel, qsel = np.nonzero(meta.prune_valid)
+        pruned[row_ids[psel], col_base[psel] + meta.prune_idx[psel, qsel]] = True
+    ub_count[row_ids, ub_ids] = meta.n_out
+    ub_scale[row_ids, ub_ids, 0] = np.clip(meta.level1, -32768, 32767)
+    ub_scale[row_ids, ub_ids, 1] = meta.mu_x
+    for i in range(len(row_ids)):
+        perm_lists[(int(row_ids[i]), int(ub_ids[i]))] = [
+            (int(meta.out_idx[i, j]), int(meta.prune_idx[i, j]))
+            for j in range(int(meta.n_prune[i]))
+        ]
+
+
 def quantize_matrix(
     weights: np.ndarray,
     calib_inputs: np.ndarray | None = None,
     config: MicroScopiQConfig | None = None,
     hessian: np.ndarray | HessianBundle | None = None,
+    kernel_path: str | None = None,
 ) -> PackedLayer:
     """Quantize a ``[d_out, d_in]`` weight matrix with MicroScopiQ.
 
@@ -238,8 +269,27 @@ def quantize_matrix(
     back to weight magnitude and no compensation is applied. A shared bundle
     makes its ``H⁻¹``/Cholesky factors compute once per calibration instead
     of once per (bits, knob) setting.
+
+    ``kernel_path`` picks the implementation: ``"vector"`` (the default, via
+    :func:`~repro.quant.vector.resolve_kernel_path`) batches the μB stages
+    across rows — and, without compensation, across a whole macro-block —
+    while ``"reference"`` keeps the per-row loops. Both are bit-identical;
+    the knob exists for verification and benchmarking, not numerics.
     """
     config = config or MicroScopiQConfig()
+    path = resolve_kernel_path(kernel_path)
+    with trace("kernel:quantize_matrix", path=path):
+        METRICS.incr(f"quant.kernel.{path}_calls")
+        return _quantize_matrix_impl(weights, calib_inputs, config, hessian, path)
+
+
+def _quantize_matrix_impl(
+    weights: np.ndarray,
+    calib_inputs: np.ndarray | None,
+    config: MicroScopiQConfig,
+    hessian: np.ndarray | HessianBundle | None,
+    path: str,
+) -> PackedLayer:
     w = np.array(weights, dtype=np.float64)
     if w.ndim != 2:
         raise ValueError(f"expected 2-D weights, got shape {w.shape}")
@@ -275,6 +325,8 @@ def quantize_matrix(
         bm, config.sigma_threshold, detect_outliers=config.outlier_format != "none"
     )
 
+    meta_sinks = (out_mask, pruned, ub_count, ub_scale, perm_lists)
+
     for m_lo, m_hi in kernel.blocks(d_in):
         block = w[:, m_lo:m_hi]
         omask = kernel.separate(block)
@@ -287,6 +339,57 @@ def quantize_matrix(
         isf_out[:, m_lo // bm] = isf
         scale = 2.0 ** isf.astype(np.float64)
 
+        if path == "vector" and u_factor is None:
+            # No cross-μB propagation: every full μB of the MaB batches as an
+            # independent virtual row through the same core.
+            n_full = (m_hi - m_lo) // bu
+            if n_full:
+                span = n_full * bu
+                wb_v = w[:, m_lo : m_lo + span].reshape(d_out, n_full, bu).reshape(-1, bu)
+                om_v = omask[:, :span].reshape(d_out, n_full, bu).reshape(-1, bu)
+                hd_v = np.tile(hinv_diag[m_lo : m_lo + span].reshape(n_full, bu), (d_out, 1))
+                qb_v, meta = vector_ub_quantize(
+                    wb_v,
+                    om_v,
+                    np.repeat(scale, n_full),
+                    np.repeat(isf, n_full),
+                    hd_v,
+                    have_h,
+                    config,
+                )
+                q[:, m_lo : m_lo + span] = qb_v.reshape(d_out, span)
+                if meta is not None:
+                    u_off = meta.rows % n_full
+                    _record_ub_meta(
+                        meta,
+                        meta.rows // n_full,
+                        m_lo // bu + u_off,
+                        m_lo + u_off * bu,
+                        *meta_sinks,
+                    )
+            if m_lo + n_full * bu < m_hi:  # ragged tail μB: real rows
+                u_lo, u_hi = m_lo + n_full * bu, m_hi
+                qb, meta = vector_ub_quantize(
+                    w[:, u_lo:u_hi],
+                    omask[:, u_lo - m_lo :],
+                    scale,
+                    isf,
+                    hinv_diag[u_lo:u_hi],
+                    have_h,
+                    config,
+                )
+                q[:, u_lo:u_hi] = qb
+                if meta is not None:
+                    n_rows = len(meta.rows)
+                    _record_ub_meta(
+                        meta,
+                        meta.rows,
+                        np.full(n_rows, u_lo // bu),
+                        np.full(n_rows, u_lo),
+                        *meta_sinks,
+                    )
+            continue
+
         for u_lo in range(m_lo, m_hi, bu):
             u_hi = min(u_lo + bu, m_hi)
             ub_idx = u_lo // bu
@@ -294,26 +397,43 @@ def quantize_matrix(
             wb = w[:, cols]  # current (compensated) snapshot of this μB
             ub_omask = omask[:, u_lo - m_lo : u_hi - m_lo]
 
-            codes = np.clip(np.rint(wb / scale[:, None]), -imax, imax)
-            qb = codes * scale[:, None]
+            if path == "vector":
+                qb, meta = vector_ub_quantize(
+                    wb, ub_omask, scale, isf, hinv_diag[u_lo:u_hi], have_h, config
+                )
+                if meta is not None:
+                    n_rows = len(meta.rows)
+                    _record_ub_meta(
+                        meta,
+                        meta.rows,
+                        np.full(n_rows, ub_idx),
+                        np.full(n_rows, u_lo),
+                        *meta_sinks,
+                    )
+            else:
+                codes = np.clip(np.rint(wb / scale[:, None]), -imax, imax)
+                qb = codes * scale[:, None]
 
-            row_info = _prune_and_quantize_outliers(
-                wb, ub_omask, qb, config, isf, hinv_diag[u_lo:u_hi], have_h
-            )
-            for r, (local_out, prune_pos, l1, mu_x) in row_info.items():
-                out_mask[r, u_lo + local_out] = True
-                pruned[r, u_lo + np.asarray(prune_pos, dtype=int)] = True
-                ub_count[r, ub_idx] = len(local_out)
-                ub_scale[r, ub_idx, 0] = np.clip(l1, -32768, 32767)
-                ub_scale[r, ub_idx, 1] = mu_x
-                perm_lists[(r, int(ub_idx))] = [
-                    (int(o), int(p)) for o, p in zip(local_out, prune_pos)
-                ]
+                row_info = _prune_and_quantize_outliers(
+                    wb, ub_omask, qb, config, isf, hinv_diag[u_lo:u_hi], have_h
+                )
+                for r, (local_out, prune_pos, l1, mu_x) in row_info.items():
+                    out_mask[r, u_lo + local_out] = True
+                    pruned[r, u_lo + np.asarray(prune_pos, dtype=int)] = True
+                    ub_count[r, ub_idx] = len(local_out)
+                    ub_scale[r, ub_idx, 0] = np.clip(l1, -32768, 32767)
+                    ub_scale[r, ub_idx, 1] = mu_x
+                    perm_lists[(r, int(ub_idx))] = [
+                        (int(o), int(p)) for o, p in zip(local_out, prune_pos)
+                    ]
 
             q[:, cols] = qb
 
             if u_factor is not None:
-                kernel.propagate_block_error(w, q, u_factor, u_lo, u_hi)
+                if path == "vector":
+                    kernel.propagate_block_error_gemm(w, q, u_factor, u_lo, u_hi)
+                else:
+                    kernel.propagate_block_error(w, q, u_factor, u_lo, u_hi)
 
     return PackedLayer(
         dequant=q,

@@ -91,6 +91,43 @@ class PackedLayer:
         """Bool ``[d_out, n_ubs]`` map: which (row, μB) pairs need ReCoN."""
         return self.ub_outlier_count > 0
 
+    def split_rows(self, sizes: List[int]) -> List["PackedLayer"]:
+        """Split into consecutive row bands of the given sizes.
+
+        The engine's shape-batched dispatch stacks several layers' weight
+        rows, quantizes once, and splits the packed result back per layer.
+        Every per-row field is row-sliced (views — the quantization math is
+        exactly row-independent for batchable methods, so each band equals
+        the layer quantized alone); ``perm_lists`` keys are re-based to the
+        band's local row indices.
+        """
+        if sum(sizes) != self.d_out:
+            raise ValueError(
+                f"split_rows sizes {sizes} must sum to d_out={self.d_out}"
+            )
+        parts: List[PackedLayer] = []
+        lo = 0
+        for n in sizes:
+            hi = lo + n
+            parts.append(
+                PackedLayer(
+                    dequant=self.dequant[lo:hi],
+                    config=self.config,
+                    inlier_scale_exp=self.inlier_scale_exp[lo:hi],
+                    outlier_mask=self.outlier_mask[lo:hi],
+                    pruned_mask=self.pruned_mask[lo:hi],
+                    ub_outlier_count=self.ub_outlier_count[lo:hi],
+                    ub_scale=self.ub_scale[lo:hi],
+                    perm_lists={
+                        (r - lo, u): entries
+                        for (r, u), entries in self.perm_lists.items()
+                        if lo <= r < hi
+                    },
+                )
+            )
+            lo = hi
+        return parts
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Apply the quantized layer: ``x @ W_q^T`` for ``x [..., d_in]``."""
         return x @ self.dequant.T

@@ -132,10 +132,24 @@ class TestGroupedDispatch:
         calibration groups."""
         model = build_model("opt-6.7b")
         store = HessianStore()
-        quantize_model(model, "microscopiq", 4, hessian_store=store)
+        quantize_model(
+            model, "microscopiq", 4, hessian_store=store, kernel_path="reference"
+        )
         n_layers = model.profile.n_layers
         assert store.misses == 4 * n_layers
         assert store.hits == 3 * n_layers
+        model.clear_overrides()
+
+        # The vector path's shape batching goes further: wq/wk/wv (and
+        # w1/w3) coalesce into one kernel invocation each, so every distinct
+        # Hessian is requested exactly once — same 4 per block, zero re-hits.
+        model = build_model("opt-6.7b")
+        store = HessianStore()
+        quantize_model(
+            model, "microscopiq", 4, hessian_store=store, kernel_path="vector"
+        )
+        assert store.misses == 4 * n_layers
+        assert store.hits == 0
         model.clear_overrides()
 
     def test_layer_failure_raises(self):
