@@ -1,0 +1,79 @@
+"""Sweep service walkthrough: daemon, client, live progress, shared results.
+
+``repro-serve`` turns the sweep pipeline into a long-running service: clients
+POST :class:`~repro.pipeline.SweepSpec` payloads as JSON, poll or stream
+(SSE) progress, and fetch merged results — all over a dependency-free
+stdlib HTTP stack. Under the daemon sits the same
+:class:`~repro.pipeline.SweepScheduler` that powers ``run_sweep``, so
+results are bit-identical to a local run against the same cache, and
+identical sweeps submitted concurrently by different clients dedup onto a
+single execution (``pipeline.inflight_dedup``).
+
+This example hosts the service in-process (``start_in_thread``) so it runs
+anywhere — against a real daemon, swap the URL for ``repro-serve``'s.
+
+Run:  python examples/serve_client.py
+"""
+
+import tempfile
+
+from repro.pipeline import SweepSpec
+from repro.serve import ServeClient, start_in_thread
+
+sweep = SweepSpec(
+    families=("opt-6.7b",),
+    methods=("microscopiq", "omni-microscopiq"),
+    archs=("microscopiq-v2",),
+    kind="codesign",
+    eval_sequences=8,
+    eval_seq_len=24,
+)
+
+with tempfile.TemporaryDirectory() as cache_dir:
+    server = start_in_thread(cache_dir=cache_dir, executor="auto")
+    print(f"service up at {server.url}")
+    try:
+        client = ServeClient(server.url)
+        health = client.health()
+        print(f"healthz: version {health['version']}, "
+              f"executor {health['scheduler']['executor']}")
+
+        accepted = client.submit(sweep, label="example")
+        sweep_id = accepted["sweep_id"]
+        print(f"submitted {sweep_id}: {accepted['n_jobs']} job(s), "
+              f"digest {accepted['spec_digest'][:12]}")
+
+        # Follow the submission's SSE stream to its terminal state.
+        for event in client.events(sweep_id):
+            kind = event.get("event")
+            if kind == "job":
+                how = "cached" if event.get("from_cache") else \
+                    f"computed in {event.get('seconds', 0.0):.2f}s"
+                print(f"  [{event['done']}/{event['total']}] "
+                      f"{event['label']} — {how}")
+            elif kind == "state":
+                print(f"  state → {event['state']}")
+
+        result = client.result(sweep_id, pareto=("ppl", "energy_nj"))
+        pivot = result["pivot"]
+        print(f"\npivot ({pivot['metric']}):")
+        for family, row in pivot["rows"].items():
+            cells = ", ".join(f"{c}={v:.4g}" for c, v in row.items()
+                              if v is not None)
+            print(f"  {family}: {cells}")
+        for family, points in (result.get("pareto") or {}).items():
+            for p in points:
+                print(f"  pareto[{family}] {p['label']}: "
+                      f"ppl={p['x']:.4g} energy_nj={p['y']:.4g}")
+
+        # The run ledger and metrics registry are served too — the same
+        # records `repro-sweep report --json` prints.
+        history = client.runs()
+        print(f"\nledger: {history['total']} run(s); last run "
+              f"{history['runs'][0]['run_id']}")
+        dedup = client.metrics()["counters"].get("pipeline.inflight_dedup", 0)
+        print(f"inflight dedup events this process: {dedup:g}")
+    finally:
+        server.shutdown()
+        server.scheduler.close(wait=False)
+    print("service stopped")

@@ -22,10 +22,15 @@ Subpackages:
     gpu          — A100 kernel cost model and tensor-core variants
     core         — the high-level public API
     pipeline     — parallel experiment orchestration: declarative sweeps,
-                   content-addressed result caching, the repro-sweep CLI
+                   content-addressed result caching, the shared
+                   SweepScheduler, the repro-sweep CLI
+    serve        — the repro-serve HTTP sweep service: submit SweepSpecs
+                   over JSON, stream progress (SSE), fetch merged results
     obs          — observability: span tracer, metrics registry, run ledger
     plugins      — entry-point discovery of third-party methods/substrates
 """
+
+__version__ = "1.5.0"
 
 from . import (
     accelerator,
@@ -41,6 +46,7 @@ from . import (
     pipeline,
     plugins,
     quant,
+    serve,
 )
 from .core import (
     MicroScopiQConfig,
@@ -50,8 +56,6 @@ from .core import (
     quantize_model,
 )
 from .methods import MethodSpec, get_method, register_method
-
-__version__ = "1.4.0"
 
 __all__ = [
     "MethodSpec",
@@ -75,4 +79,5 @@ __all__ = [
     "quantize_matrix",
     "quantize_model",
     "register_method",
+    "serve",
 ]

@@ -165,6 +165,73 @@ class RunLedger:
         out.reverse()
         return out if limit is None else out[:limit]
 
+    def history(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The machine-readable history envelope — the one shape both
+        ``repro-sweep report --json`` and the serve daemon's ``/api/runs``
+        endpoint return, so tooling parses them interchangeably."""
+        runs = self.runs(limit=limit)
+        return {
+            "path": str(self.path),
+            "schema": LEDGER_SCHEMA,
+            "total": len(self),
+            "returned": len(runs),
+            "runs": runs,
+        }
+
+    # ------------------------------------------------------------ maintenance
+    def compact(
+        self, older_than: Optional[float] = None, now: Optional[float] = None
+    ) -> int:
+        """Rewrite the JSONL keeping only schema-valid records younger than
+        ``older_than`` seconds; returns how many lines were dropped.
+
+        ``older_than=None`` drops everything (matching
+        :meth:`~repro.pipeline.cache.ResultCache.clean` semantics — the
+        no-age ``repro-sweep clean`` is a full purge). Corrupt and
+        schema-invalid lines are always dropped: compaction is the one
+        moment the append-only file gets to heal. The rewrite is atomic
+        (tempfile + ``os.replace``), so concurrent readers see either the
+        old or the new file, never a torn one.
+        """
+        if now is None:
+            now = time.time()
+        try:
+            with open(self.path, "r", encoding="utf-8") as f:
+                lines = [line for line in f.read().split("\n") if line.strip()]
+        except (FileNotFoundError, OSError):
+            return 0
+        kept: List[str] = []
+        removed = 0
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                removed += 1
+                continue
+            if validate_record(record):
+                removed += 1
+                continue
+            if older_than is None:
+                removed += 1
+                continue
+            age = now - float(record.get("started_at", 0.0))
+            if age >= older_than:
+                removed += 1
+                continue
+            kept.append(line)
+        if not removed:
+            return 0
+        if not kept:
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
+            return removed
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        tmp.write_text("\n".join(kept) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)
+        return removed
+
     def get(self, run_id: str) -> Optional[Dict[str, Any]]:
         """One record by id — exact, unique prefix, or ``"last"``."""
         records = self.runs()

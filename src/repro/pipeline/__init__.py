@@ -11,9 +11,15 @@ substrate:
   per-job timing and failure capture;
 * :mod:`~repro.pipeline.runner` — :func:`run_sweep` wiring the above into a
   :class:`SweepResult` with pivot/aggregation helpers;
-* :mod:`~repro.pipeline.progress` — throughput / cache-hit telemetry;
+* :mod:`~repro.pipeline.scheduler` — the reusable :class:`SweepScheduler`
+  behind both :func:`run_sweep` and the ``repro-serve`` service: submission
+  queue, per-submission :class:`SweepHandle`\\ s, cross-submission in-flight
+  dedup;
+* :mod:`~repro.pipeline.progress` — throughput / cache-hit telemetry with
+  event-sink fan-out (ticker, SSE subscribers);
 * :mod:`~repro.pipeline.cli` — the ``repro-sweep`` / ``python -m
-  repro.pipeline`` command line.
+  repro.pipeline`` command line (including the service-backed
+  ``submit`` / ``watch`` / ``results`` modes).
 
 Quickstart::
 
@@ -47,6 +53,7 @@ from .runner import (
     run_codesign_job,
     run_sweep,
 )
+from .scheduler import SweepCancelled, SweepHandle, SweepScheduler, sweep_digest
 from .spec import (
     CALIBRATION_MODES,
     FP_METHOD,
@@ -71,7 +78,10 @@ __all__ = [
     "ProgressTracker",
     "ResultCache",
     "SerialExecutor",
+    "SweepCancelled",
+    "SweepHandle",
     "SweepResult",
+    "SweepScheduler",
     "SweepSpec",
     "ThreadExecutor",
     "default_workers",
@@ -82,4 +92,5 @@ __all__ = [
     "resolve_metric",
     "run_codesign_job",
     "run_sweep",
+    "sweep_digest",
 ]

@@ -23,8 +23,15 @@ Six subcommands:
   outcomes, stage reuse, counter attribution, slowest jobs;
 * ``trace`` — one run's span tree (total/self times per span); record
   spans with ``sweep --trace`` or ``REPRO_TRACE=1``;
-* ``clean`` — purge cached results (optionally only entries older than
-  ``--older-than`` seconds / ``--max-age-hours`` hours).
+* ``clean`` — purge cached results and compact the run ledger (optionally
+  only entries older than ``--older-than`` seconds / ``--max-age-hours``
+  hours);
+* ``submit`` / ``watch`` / ``results`` — the same grid flags as ``sweep``,
+  but run through a ``repro-serve`` daemon (``--server``, default
+  ``http://127.0.0.1:8642`` or ``REPRO_SERVE_URL``): submit enqueues and by
+  default live-streams progress, watch re-attaches to a running
+  submission's SSE stream, results fetches the merged pivot / Pareto /
+  records of a finished one.
 
 Plugins are loaded at startup, so entry-point / ``REPRO_PLUGINS`` methods,
 substrates, and archs are first-class axis values everywhere.
@@ -40,7 +47,7 @@ from typing import List, Optional
 
 from .cache import ResultCache
 from .executor import EXECUTORS, default_workers
-from .runner import resolve_metric, run_sweep
+from .runner import run_sweep
 from .spec import CALIBRATION_MODES, JOB_KINDS, SweepSpec, known_methods
 
 __all__ = ["main", "build_parser"]
@@ -96,6 +103,91 @@ def _parse_params(assignments: List[str]):
     return plain, targeted
 
 
+def _add_grid_args(p: argparse.ArgumentParser) -> None:
+    """The sweep-grid axis flags, shared verbatim by ``sweep`` (local run)
+    and ``submit`` (run through a ``repro-serve`` daemon) — one flag set,
+    one spec builder, two execution paths."""
+    p.add_argument("--families", nargs="+", default=[], metavar="FAMILY",
+                   help="model families (see --list-families)")
+    p.add_argument("--methods", nargs="+", default=[], metavar="METHOD",
+                   help="quantization methods (see --list-methods)")
+    p.add_argument(
+        "--substrates", nargs="+", default=["lm"], metavar="SUBSTRATE",
+        help="workload classes to sweep (see --list-substrates); families "
+             "are paired only with the substrates that can build them",
+    )
+    p.add_argument("--w-bits", nargs="+", type=int, default=[4])
+    p.add_argument(
+        "--act-bits", nargs="+", type=_act_bits, default=[None],
+        help="activation bits per setting; 'none' = weight-only",
+    )
+    p.add_argument(
+        "--group-sizes", nargs="+", type=_group_size, default=[None],
+        help="quantization group sizes; 'none' = method default",
+    )
+    p.add_argument(
+        "--outlier-formats", nargs="+", default=[None],
+        choices=[None, "mx-fp", "mx-int", "none"],
+        help="MicroScopiQ outlier format axis",
+    )
+    p.add_argument(
+        "--calibrations", nargs="+", default=["sequential"],
+        choices=list(CALIBRATION_MODES),
+        help="engine calibration modes (the sequential-vs-parallel ablation)",
+    )
+    p.add_argument(
+        "--archs", nargs="+", default=[], metavar="ARCH",
+        help="accelerators to simulate (see --list-archs); adds one hardware "
+             "job per valid substrate × family × arch combination (or, with "
+             "--kind codesign, crosses into the quantization grid)",
+    )
+    p.add_argument(
+        "--kind", default="auto", choices=["auto"] + list(JOB_KINDS),
+        help="job kind: 'auto' (quantization grid + independent hardware "
+             "axis), 'accuracy' / 'hw' (one side only), or 'codesign' "
+             "(joint quantize → lift → simulate jobs: accuracy AND hardware "
+             "metrics per cell from the same quantized weights)",
+    )
+    p.add_argument(
+        "--codesign", action="store_true",
+        help="shorthand for --kind codesign",
+    )
+    p.add_argument(
+        "--prefills", nargs="+", type=int, default=[None], metavar="N",
+        help="hardware grid axis: prompt tokens per prefill, enumerated "
+             "like --w-bits (transformer workloads; ignored kernels are "
+             "normalized out)",
+    )
+    p.add_argument(
+        "--batches", nargs="+", type=int, default=[None], metavar="N",
+        help="hardware grid axis: inputs per inference (CNN images / SSM "
+             "sequences / GEMM vectors)",
+    )
+    p.add_argument(
+        "--n-recons", nargs="+", type=int, default=[None], metavar="N",
+        help="hardware grid axis: ReCoN units per array (archs with an "
+             "n_recon knob)",
+    )
+    p.add_argument(
+        "--param", action="append", default=[], metavar="[TARGET.]KEY=VALUE",
+        help="set a schema-validated method or arch parameter (repeatable); "
+             "unqualified keys route to every swept method/arch whose schema "
+             "accepts them, 'gptq.damp_ratio=0.02' pins one target",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eval-sequences", type=int, default=32)
+    p.add_argument("--eval-seq-len", type=int, default=32)
+
+
+def _add_server_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--server",
+        default=os.environ.get("REPRO_SERVE_URL", "http://127.0.0.1:8642"),
+        help="base URL of the repro-serve daemon (default: REPRO_SERVE_URL "
+             "env, else http://127.0.0.1:8642)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sweep",
@@ -106,76 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="run a (substrates × models × methods × settings) grid"
     )
-    sweep.add_argument("--families", nargs="+", default=[], metavar="FAMILY",
-                       help="model families (see --list-families)")
-    sweep.add_argument("--methods", nargs="+", default=[], metavar="METHOD",
-                       help="quantization methods (see --list-methods)")
-    sweep.add_argument(
-        "--substrates", nargs="+", default=["lm"], metavar="SUBSTRATE",
-        help="workload classes to sweep (see --list-substrates); families "
-             "are paired only with the substrates that can build them",
-    )
-    sweep.add_argument("--w-bits", nargs="+", type=int, default=[4])
-    sweep.add_argument(
-        "--act-bits", nargs="+", type=_act_bits, default=[None],
-        help="activation bits per setting; 'none' = weight-only",
-    )
-    sweep.add_argument(
-        "--group-sizes", nargs="+", type=_group_size, default=[None],
-        help="quantization group sizes; 'none' = method default",
-    )
-    sweep.add_argument(
-        "--outlier-formats", nargs="+", default=[None],
-        choices=[None, "mx-fp", "mx-int", "none"],
-        help="MicroScopiQ outlier format axis",
-    )
-    sweep.add_argument(
-        "--calibrations", nargs="+", default=["sequential"],
-        choices=list(CALIBRATION_MODES),
-        help="engine calibration modes (the sequential-vs-parallel ablation)",
-    )
-    sweep.add_argument(
-        "--archs", nargs="+", default=[], metavar="ARCH",
-        help="accelerators to simulate (see --list-archs); adds one hardware "
-             "job per valid substrate × family × arch combination (or, with "
-             "--kind codesign, crosses into the quantization grid)",
-    )
-    sweep.add_argument(
-        "--kind", default="auto", choices=["auto"] + list(JOB_KINDS),
-        help="job kind: 'auto' (quantization grid + independent hardware "
-             "axis), 'accuracy' / 'hw' (one side only), or 'codesign' "
-             "(joint quantize → lift → simulate jobs: accuracy AND hardware "
-             "metrics per cell from the same quantized weights)",
-    )
-    sweep.add_argument(
-        "--codesign", action="store_true",
-        help="shorthand for --kind codesign",
-    )
-    sweep.add_argument(
-        "--prefills", nargs="+", type=int, default=[None], metavar="N",
-        help="hardware grid axis: prompt tokens per prefill, enumerated "
-             "like --w-bits (transformer workloads; ignored kernels are "
-             "normalized out)",
-    )
-    sweep.add_argument(
-        "--batches", nargs="+", type=int, default=[None], metavar="N",
-        help="hardware grid axis: inputs per inference (CNN images / SSM "
-             "sequences / GEMM vectors)",
-    )
-    sweep.add_argument(
-        "--n-recons", nargs="+", type=int, default=[None], metavar="N",
-        help="hardware grid axis: ReCoN units per array (archs with an "
-             "n_recon knob)",
-    )
-    sweep.add_argument(
-        "--param", action="append", default=[], metavar="[TARGET.]KEY=VALUE",
-        help="set a schema-validated method or arch parameter (repeatable); "
-             "unqualified keys route to every swept method/arch whose schema "
-             "accepts them, 'gptq.damp_ratio=0.02' pins one target",
-    )
-    sweep.add_argument("--seed", type=int, default=0)
-    sweep.add_argument("--eval-sequences", type=int, default=32)
-    sweep.add_argument("--eval-seq-len", type=int, default=32)
+    _add_grid_args(sweep)
     sweep.add_argument("--cache-dir", default=DEFAULT_CACHE)
     sweep.add_argument("--no-cache", action="store_true")
     sweep.add_argument(
@@ -241,6 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="how many recent runs to show")
     report.add_argument("--slowest", type=int, default=8,
                         help="slowest computed jobs per run")
+    report.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print the machine-readable history envelope instead of the "
+             "human report (the exact payload repro-serve's /api/runs "
+             "endpoint returns)",
+    )
 
     trace_cmd = sub.add_parser(
         "trace", help="render one run's span tree (total/self times)"
@@ -262,6 +291,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-age-hours", type=float, default=None, metavar="HOURS",
         help="only remove entries older than this many hours",
     )
+
+    submit = sub.add_parser(
+        "submit",
+        help="run the same grid through a repro-serve daemon instead of "
+             "this process",
+    )
+    _add_grid_args(submit)
+    _add_server_arg(submit)
+    submit.add_argument("--label", default="",
+                        help="free-form tag shown in the service's listings")
+    submit.add_argument(
+        "--executor", default=None, choices=["auto"] + sorted(EXECUTORS),
+        help="executor the daemon should use (default: the daemon's own)",
+    )
+    submit.add_argument("--workers", type=int, default=None)
+    submit.add_argument("--recompute", action="store_true")
+    submit.add_argument(
+        "--watch", action=argparse.BooleanOptionalAction, default=True,
+        help="stream progress until the sweep finishes and print its "
+             "results (--no-watch just prints the sweep id and returns)",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="stream a submitted sweep's live progress (SSE)"
+    )
+    watch.add_argument("sweep_id", help="id (or unique prefix) from 'submit'")
+    _add_server_arg(watch)
+
+    results = sub.add_parser(
+        "results", help="fetch a finished sweep's merged results"
+    )
+    results.add_argument("sweep_id", help="id (or unique prefix) from 'submit'")
+    _add_server_arg(results)
+    results.add_argument("--metric", default="auto")
+    results.add_argument(
+        "--pareto", nargs=2, metavar=("X", "Y"), default=None,
+        help="print the per-family Pareto frontier over two metrics instead "
+             "of the pivot table",
+    )
+    results.add_argument("--json", dest="json_out", metavar="PATH",
+                         help="write the full results payload as JSON")
     return parser
 
 
@@ -466,36 +536,33 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 2
 
 
-def _print_pivot(result, metric: str) -> None:
-    # Columns are full settings ("rtn W2A16"), not bare method names — a
-    # multi-bit sweep must not collapse its settings into one cell.
-    pivot: dict = {}
-    columns: List[str] = []
-    for o in result.outcomes:
-        if o.metrics is None:
-            continue
-        spec = o.job.spec
-        prefix = f"{spec.family}/" if spec.substrate == "lm" else f"{spec.substrate}:{spec.family}/"
-        col = o.job.label[len(prefix):] if o.job.label.startswith(prefix) else o.job.label
-        if col not in columns:
-            columns.append(col)
-        # Per-outcome resolution: hardware jobs pivot on latency (GPU cost
-        # models on throughput), accuracy and codesign jobs on the
-        # substrate's task metric.
-        m = metric if metric != "auto" else resolve_metric(o)
-        pivot.setdefault(spec.family, {})[col] = o.metrics.get(m)
+def _print_pivot_table(table: dict) -> None:
+    """Render a :meth:`SweepResult.pivot_table` payload — shared by the
+    local ``sweep`` path and the service-backed ``results`` path (which
+    gets the same dict over the wire)."""
+    columns: List[str] = table.get("columns") or []
+    rows: dict = table.get("rows") or {}
     if not columns:
         print("no successful jobs")
         return
     width = max(12, *(len(c) for c in columns)) + 2
-    fam_w = max(8, *(len(f) for f in pivot)) + 2
+    fam_w = max(8, *(len(f) for f in rows)) + 2
     print("family".ljust(fam_w) + "".join(c.rjust(width) for c in columns))
-    for fam, row in pivot.items():
+    for fam, row in rows.items():
         cells = []
         for c in columns:
             v = row.get(c)
             cells.append(("-" if v is None else f"{v:.3f}").rjust(width))
         print(fam.ljust(fam_w) + "".join(cells))
+
+
+def _print_pivot(result, metric: str) -> None:
+    # Columns are full settings ("rtn W2A16"), not bare method names — a
+    # multi-bit sweep must not collapse its settings into one cell.
+    # Per-outcome metric resolution (pivot_table's metric="auto") means
+    # hardware jobs pivot on latency (GPU cost models on throughput),
+    # accuracy and codesign jobs on the substrate's task metric.
+    _print_pivot_table(result.pivot_table(metric))
 
 
 def _print_pareto(result, x: str, y: str) -> None:
@@ -573,9 +640,9 @@ def _route_params(args: argparse.Namespace):
     return quant_kwargs, hw_kwargs, method_params, arch_params
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    if _print_listings(args):
-        return 0
+def _grid_args_usable(args: argparse.Namespace) -> Optional[int]:
+    """Shared up-front validation for ``sweep`` and ``submit``; returns an
+    exit code when the grid flags can't make a sweep, else None."""
     if not args.families or not (args.methods or args.archs):
         print(
             "error: --families plus --methods and/or --archs are required "
@@ -590,30 +657,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    return None
+
+
+def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """One SweepSpec from the shared grid flags (raises the spec's own
+    KeyError/ValueError on invalid axis values) — the single builder behind
+    both the local and the service-backed sweep paths."""
+    quant_kwargs, hw_kwargs, method_params, arch_params = _route_params(args)
+    return SweepSpec(
+        families=tuple(args.families),
+        methods=tuple(args.methods),
+        substrates=tuple(args.substrates),
+        w_bits=tuple(args.w_bits),
+        act_bits=tuple(args.act_bits),
+        group_sizes=tuple(args.group_sizes),
+        outlier_formats=tuple(f for f in args.outlier_formats),
+        calibrations=tuple(args.calibrations),
+        archs=tuple(args.archs) or (None,),
+        kind="codesign" if args.codesign else args.kind,
+        prefills=tuple(args.prefills),
+        batches=tuple(args.batches),
+        n_recons=tuple(args.n_recons),
+        quant_kwargs=quant_kwargs,
+        hw_kwargs=hw_kwargs,
+        method_params=method_params,
+        arch_params=arch_params,
+        eval_sequences=args.eval_sequences,
+        eval_seq_len=args.eval_seq_len,
+        seed=args.seed,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if _print_listings(args):
+        return 0
+    code = _grid_args_usable(args)
+    if code is not None:
+        return code
     try:
-        quant_kwargs, hw_kwargs, method_params, arch_params = _route_params(args)
-        spec = SweepSpec(
-            families=tuple(args.families),
-            methods=tuple(args.methods),
-            substrates=tuple(args.substrates),
-            w_bits=tuple(args.w_bits),
-            act_bits=tuple(args.act_bits),
-            group_sizes=tuple(args.group_sizes),
-            outlier_formats=tuple(f for f in args.outlier_formats),
-            calibrations=tuple(args.calibrations),
-            archs=tuple(args.archs) or (None,),
-            kind="codesign" if args.codesign else args.kind,
-            prefills=tuple(args.prefills),
-            batches=tuple(args.batches),
-            n_recons=tuple(args.n_recons),
-            quant_kwargs=quant_kwargs,
-            hw_kwargs=hw_kwargs,
-            method_params=method_params,
-            arch_params=arch_params,
-            eval_sequences=args.eval_sequences,
-            eval_seq_len=args.eval_seq_len,
-            seed=args.seed,
-        )
+        spec = _spec_from_args(args)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -702,6 +785,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from ..obs import RunLedger, render_run
 
     ledger = RunLedger(ResultCache(args.cache_dir).root / "runs")
+    if args.json_out:
+        # The same envelope repro-serve's /api/runs endpoint returns — one
+        # record shape for the human report, the service, and tooling.
+        print(json.dumps(ledger.history(limit=args.limit), indent=2))
+        return 0
     runs = ledger.runs(limit=args.limit)
     if not runs:
         print(f"no runs recorded yet under {ledger.root} "
@@ -743,13 +831,156 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         older_than = args.max_age_hours * 3600.0
     from ..methods.resources import HessianStore
 
+    from ..obs import RunLedger
+
     cache = ResultCache(args.cache_dir)
     removed = cache.clean(older_than=older_than)
     # The Hessian blob tier lives beside the records, under the same policy;
     # the layout is HessianStore's business, not ours.
     blobs = HessianStore.clean_disk(cache.root / "hessians", older_than=older_than)
+    # The run ledger ages out under the same policy too — otherwise
+    # runs.jsonl grows without bound while the results it indexes vanish.
+    ledger_removed = RunLedger(cache.root / "runs").compact(older_than=older_than)
     print(f"removed {removed} cached results from {cache.root}"
-          + (f" and {blobs} hessian blobs" if blobs else ""))
+          + (f" and {blobs} hessian blobs" if blobs else "")
+          + (f"; compacted {ledger_removed} ledger records" if ledger_removed
+             else ""))
+    return 0
+
+
+def _print_watch_event(event: dict) -> bool:
+    """One line per progress event; returns True on a terminal state."""
+    kind = event.get("event")
+    if kind == "job":
+        if not event.get("ok", True):
+            how = f"FAILED ({event.get('error_type') or 'Error'})"
+        elif event.get("attached"):
+            how = "attached"
+        elif event.get("from_cache"):
+            how = "cached"
+        else:
+            how = f"computed in {event.get('seconds', 0.0):.2f}s"
+        print(f"[{event.get('done')}/{event.get('total')}] "
+              f"{event.get('label')} — {how}")
+    elif kind == "state":
+        state = event.get("state")
+        print(f"state: {state}"
+              + (f" ({event.get('error')})" if event.get("error") else ""))
+        return state in ("done", "failed", "cancelled")
+    elif kind == "end":
+        s = event.get("summary") or {}
+        print(f"{s.get('done')}/{s.get('total')} jobs · "
+              f"{s.get('cache_hits')} cache hits · "
+              f"{s.get('attached', 0)} attached · "
+              f"{s.get('failures')} failures · {s.get('elapsed_s')}s wall")
+    return False
+
+
+def _watch_to_completion(client, sweep_id: str) -> int:
+    """Follow one submission's SSE stream, then print its results."""
+    from ..serve.client import ServeError
+
+    state = None
+    for event in client.events(sweep_id):
+        if _print_watch_event(event):
+            state = event.get("state")
+    if state is None:
+        state = client.status(sweep_id)["state"]
+    if state != "done":
+        return 1
+    payload = client.result(sweep_id)
+    _print_pivot_table(payload["pivot"])
+    run_id = (payload.get("telemetry") or {}).get("run_id")
+    if run_id:
+        print(f"run {run_id} appended to the daemon's run ledger")
+    try:
+        return 0 if not (payload.get("telemetry") or {}).get("failures") else 1
+    except ServeError:  # pragma: no cover - defensive
+        return 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    code = _grid_args_usable(args)
+    if code is not None:
+        return code
+    from ..serve.client import ServeClient, ServeError
+
+    try:
+        spec = _spec_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    client = ServeClient(args.server)
+    try:
+        accepted = client.submit(
+            spec,
+            label=args.label,
+            executor=args.executor,
+            workers=args.workers,
+            recompute=args.recompute,
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted {accepted['sweep_id']} "
+          f"({accepted['n_jobs']} jobs, digest "
+          f"{accepted['spec_digest'][:12]}) to {args.server}")
+    if not args.watch:
+        print(f"follow with: repro-sweep watch {accepted['sweep_id']} "
+              f"--server {args.server}")
+        return 0
+    return _watch_to_completion(client, accepted["sweep_id"])
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from ..serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.server)
+    try:
+        return _watch_to_completion(client, args.sweep_id)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from ..serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.server)
+    try:
+        payload = client.result(
+            args.sweep_id,
+            metric=args.metric,
+            pareto=tuple(args.pareto) if args.pareto else None,
+        )
+    except ServeError as exc:
+        hint = ""
+        if exc.status == 409:
+            hint = (" (still running — 'repro-sweep watch "
+                    f"{args.sweep_id}' follows it)")
+        print(f"error: {exc}{hint}", file=sys.stderr)
+        return 2
+    if args.pareto:
+        frontiers = payload.get("pareto") or {}
+        if not any(frontiers.values()):
+            print(f"no jobs carry both {args.pareto[0]!r} and "
+                  f"{args.pareto[1]!r} metrics")
+        for family, points in frontiers.items():
+            if not points:
+                continue
+            xn, yn = points[0]["x_metric"], points[0]["y_metric"]
+            print(f"{family} — Pareto frontier ({xn} vs {yn}), "
+                  f"{len(points)} non-dominated:")
+            label_w = max(len(p["label"]) for p in points) + 2
+            for p in points:
+                print(f"  {p['label'].ljust(label_w)}"
+                      f"{xn}={p['x']:.4g}  {yn}={p['y']:.4g}")
+    else:
+        _print_pivot_table(payload["pivot"])
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.json_out}")
     return 0
 
 
@@ -770,6 +1001,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "clean":
         return _cmd_clean(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "results":
+        return _cmd_results(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -36,19 +36,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..methods.resources import HESSIAN_DIR_ENV
-from ..obs.ledger import RunLedger
-from ..obs.metrics import METRICS, merge_deltas
 from ..obs.trace import TRACE_ENV, current_tracer, enable_tracing, set_tracer, trace
 from .cache import ResultCache
-from .executor import JobOutcome, make_executor
-from .progress import ProgressTracker, default_stream
+from .executor import JobOutcome
 from .spec import HASH_VERSION, ExperimentSpec, Job, SweepSpec, _canonical
 
 __all__ = [
@@ -325,6 +320,31 @@ class SweepResult:
             out.setdefault(r, {})[c] = o.metrics.get(name)
         return out
 
+    def pivot_table(self, metric: str = "auto") -> Dict[str, Any]:
+        """The family × setting pivot as one JSON-able table — the shape the
+        CLI printer, the service's results endpoint, and the HTML view all
+        render from. Columns are job labels with their family prefix
+        stripped; rows are families; missing cells stay absent (lenient,
+        like :meth:`pivot`)."""
+        columns: List[str] = []
+        rows: Dict[str, Dict[str, Any]] = {}
+        for o in self.outcomes:
+            if o.metrics is None:
+                continue
+            spec = o.job.spec
+            prefix = (
+                f"{spec.family}/"
+                if spec.substrate == "lm"
+                else f"{spec.substrate}:{spec.family}/"
+            )
+            label = o.job.label
+            col = label[len(prefix):] if label.startswith(prefix) else label
+            if col not in columns:
+                columns.append(col)
+            name = resolve_metric(o) if metric == "auto" else metric
+            rows.setdefault(spec.family, {})[col] = o.metrics.get(name)
+        return {"metric": metric, "columns": columns, "rows": rows}
+
     def pareto(
         self,
         x: str = "auto",
@@ -543,9 +563,12 @@ def run_sweep(
         set_tracer(None)
         os.environ[TRACE_ENV] = "0"
     try:
-        return _run_sweep(
-            sweep, cache_dir, executor, workers, progress, recompute, kernel
-        )
+        # Local import: the scheduler module imports this one's kernels.
+        from .scheduler import SweepScheduler
+
+        return SweepScheduler(
+            cache_dir=cache_dir, executor=executor, workers=workers
+        ).run(sweep, progress=progress, recompute=recompute, kernel=kernel)
     finally:
         if trace is not None:
             set_tracer(prev_tracer)
@@ -553,206 +576,6 @@ def run_sweep(
                 os.environ.pop(TRACE_ENV, None)
             else:
                 os.environ[TRACE_ENV] = prev_env
-
-
-def _run_sweep(
-    sweep: Union[SweepSpec, Sequence[ExperimentSpec]],
-    cache_dir: Optional[str],
-    executor: str,
-    workers: Optional[int],
-    progress: bool,
-    recompute: bool,
-    kernel: Callable[[Job], Dict[str, Any]],
-) -> SweepResult:
-    if not isinstance(sweep, SweepSpec):
-        sweep = SweepSpec.from_specs(sweep)
-    jobs = sweep.jobs()
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    if cache is not None:
-        # Point the process-wide Hessian store's disk tier next to the result
-        # cache — through the environment, so process-pool workers spawned
-        # below inherit it and share Hessian work across processes and runs.
-        # Deliberately left set after the sweep: later jobs of the same
-        # session keep hitting the shared tier.
-        os.environ[HESSIAN_DIR_ENV] = str(cache.root / "hessians")
-    else:
-        # No result cache ⇒ no disk tier either: a stale export from an
-        # earlier sweep would silently resurrect that sweep's (possibly
-        # deleted) cache directory with orphaned blobs.
-        os.environ.pop(HESSIAN_DIR_ENV, None)
-    tracer = current_tracer()
-    started_at = time.time()
-    counters_before = METRICS.snapshot()
-    my_pid = f"pid-{os.getpid()}"
-    foreign_counters: List[Dict[str, float]] = []
-    tracker = ProgressTracker(total=len(jobs), stream=default_stream(progress))
-    book = _StageBook(cache, recompute)
-    staged = kernel is execute_job  # custom kernels own codesign semantics
-
-    outcomes: Dict[str, JobOutcome] = {}
-    pending: List[Job] = []
-    for job in jobs:
-        if cache is None or recompute:
-            record, lookup_s = None, 0.0
-        else:
-            t0 = time.perf_counter()
-            record = cache.get(job.job_hash)
-            lookup_s = time.perf_counter() - t0
-        if record is not None and record.get("metrics") is not None:
-            outcomes[job.job_hash] = JobOutcome(
-                job,
-                metrics=record["metrics"],
-                seconds=float(record.get("seconds", 0.0)),
-                from_cache=True,
-            )
-            tracker.update(from_cache=True, seconds=lookup_s, label=job.label)
-        else:
-            pending.append(job)
-
-    codesign = [j for j in pending if staged and j.spec.job_kind == "codesign"]
-    phase1 = [j for j in pending if not (staged and j.spec.job_kind == "codesign")]
-
-    # Quant stages the codesign jobs need, beyond what phase 1 already runs:
-    # an identical accuracy job pending (or cached) in this very sweep serves
-    # as the stage — the content hash is the same.
-    phase1_hashes = {j.job_hash for j in phase1}
-    stage_extra: Dict[str, Job] = {}
-    for j in codesign:
-        qjob = j.quant_stage()
-        qh = qjob.job_hash
-        if qh in book.quant_results:  # claimed by an earlier codesign job
-            book.quant_stage_hits += 1
-            continue
-        if qh in outcomes:  # the sweep's own accuracy cell, already from cache
-            metrics = outcomes[qh].metrics
-            if metrics and metrics.get("layers"):
-                book.quant_results[qh] = metrics
-                book.quant_stage_hits += 1
-                continue
-        if qh in phase1_hashes or qh in stage_extra:
-            # The stage is already being computed this sweep (as the sweep's
-            # own accuracy job, or for an earlier codesign sibling): shared.
-            book.quant_stage_hits += 1
-            continue
-        cached = book.lookup_quant(qjob)
-        if cached is not None:
-            book.quant_results[qh] = cached
-            book.quant_stage_hits += 1
-        else:
-            stage_extra[qh] = qjob
-
-    quant_needed = {j.quant_stage().job_hash for j in codesign}
-    phase1_all = phase1 + list(stage_extra.values())
-    if phase1_all:
-        # One pending job can't use a pool; don't pay fork/setup for it.
-        name = "serial" if (executor == "auto" and len(phase1_all) == 1) else executor
-        pool = make_executor(name, workers)
-        for outcome in pool.run(kernel, phase1_all):
-            h = outcome.job.job_hash
-            if outcome.counters and outcome.worker != my_pid:
-                foreign_counters.append(outcome.counters)
-            # Failures are never cached: a fixed kernel or environment should
-            # recompute them on the next sweep instead of replaying the error.
-            if cache is not None and outcome.ok:
-                cache.put(h, outcome.record())
-            if h in quant_needed:
-                if outcome.ok:
-                    book.quant_results[h] = outcome.metrics
-                    if outcome.spans:
-                        book.quant_spans[h] = outcome.spans
-                else:
-                    book.quant_errors[h] = outcome.error
-            if h in phase1_hashes:
-                outcomes[h] = outcome
-                tracker.update(
-                    from_cache=False,
-                    ok=outcome.ok,
-                    seconds=outcome.seconds,
-                    label=outcome.job.label,
-                    error_type=(outcome.error or {}).get("type", ""),
-                )
-
-    if codesign:
-        _run_codesign_phase(
-            codesign, book, outcomes, tracker, executor, workers, foreign_counters
-        )
-
-    telemetry = tracker.finish()
-    telemetry["executor"] = executor
-    telemetry["quant_stage_hits"] = book.quant_stage_hits
-    telemetry["hw_stage_hits"] = book.hw_stage_hits
-    # Publish the sweep-level counters, then report this run's delta —
-    # local activity plus whatever foreign pool workers shipped back.
-    METRICS.incr("pipeline.jobs_computed", tracker.computed)
-    if book.quant_stage_hits:
-        METRICS.incr("pipeline.quant_stage_hits", book.quant_stage_hits)
-    if book.hw_stage_hits:
-        METRICS.incr("pipeline.hw_stage_hits", book.hw_stage_hits)
-    counters = merge_deltas(METRICS.delta(counters_before), *foreign_counters)
-    telemetry["counters"] = counters
-    telemetry["hessian"] = {
-        key: int(counters.get(f"hessian.store.{key}", 0))
-        for key in (
-            "hits", "disk_hits", "misses", "h_builds", "inversions",
-            "factorizations",
-        )
-    }
-    spans_tree = None
-    if tracer is not None:
-        spans_tree = {
-            "name": "sweep",
-            "attrs": {"executor": executor, "n_jobs": len(jobs)},
-            "seconds": round(time.time() - started_at, 6),
-            "children": [
-                outcomes[j.job_hash].spans
-                for j in jobs
-                if outcomes[j.job_hash].spans
-            ],
-        }
-    result = SweepResult(
-        jobs=jobs,
-        outcomes=[outcomes[j.job_hash] for j in jobs],
-        telemetry=telemetry,
-    )
-    if cache is not None:
-        digest = hashlib.sha256(
-            "\n".join(sorted(j.job_hash for j in jobs)).encode("utf-8")
-        ).hexdigest()
-        ledger_jobs = []
-        for o in result.outcomes:
-            entry = {
-                "hash": o.job.job_hash,
-                "label": o.job.label,
-                "kind": o.job.spec.job_kind,
-                "ok": o.ok,
-                "from_cache": o.from_cache,
-                "seconds": round(o.seconds, 6),
-            }
-            if o.error is not None:
-                entry["error_type"] = o.error.get("type", "Error")
-            ledger_jobs.append(entry)
-        telemetry["run_id"] = RunLedger(cache.root / "runs").append(
-            {
-                "started_at": started_at,
-                "finished_at": time.time(),
-                "wall_s": telemetry["elapsed_s"],
-                "compute_s": telemetry["compute_s"],
-                "lookup_s": telemetry["lookup_s"],
-                "spec_digest": digest,
-                "executor": executor,
-                "workers": workers or 0,
-                "n_jobs": len(jobs),
-                "cache_hits": tracker.cache_hits,
-                "failures": tracker.failures,
-                "quant_stage_hits": book.quant_stage_hits,
-                "hw_stage_hits": book.hw_stage_hits,
-                "traced": tracer is not None,
-                "counters": counters,
-                "jobs": ledger_jobs,
-                "spans": spans_tree,
-            }
-        )
-    return result
 
 
 def _codesign_span_tree(
@@ -792,111 +615,3 @@ def _codesign_span_tree(
         "seconds": round(sum(float(c.get("seconds", 0.0)) for c in children), 6),
         "children": children,
     }
-
-
-def _run_codesign_phase(
-    codesign: List[Job],
-    book: _StageBook,
-    outcomes: Dict[str, JobOutcome],
-    tracker: ProgressTracker,
-    executor: str,
-    workers: Optional[int],
-    foreign_counters: List[Dict[str, float]],
-) -> None:
-    """Phase 2: lift each codesign job's quant-stage result, serve or
-    simulate its hardware stage, merge, cache, and record the outcome."""
-    traced_run = current_tracer() is not None
-    my_pid = f"pid-{os.getpid()}"
-    lift_spans: Dict[str, Dict[str, Any]] = {}  # by job hash
-
-    def settle(job: Job, outcome: JobOutcome) -> None:
-        if book.cache is not None and outcome.ok:
-            book.cache.put(job.job_hash, outcome.record())
-        outcomes[job.job_hash] = outcome
-        tracker.update(
-            from_cache=False, ok=outcome.ok, seconds=outcome.seconds,
-            label=job.label,
-            error_type=(outcome.error or {}).get("type", ""),
-        )
-
-    def fail(job: Job, error: Dict[str, str]) -> None:
-        settle(job, JobOutcome(job, error=dict(error)))
-
-    def merge(
-        job: Job,
-        hw_metrics: Dict[str, Any],
-        seconds: float,
-        hw_span: Optional[Dict[str, Any]] = None,
-    ) -> None:
-        quant = book.quant_results[job.quant_stage().job_hash]
-        metrics = _merge_codesign(job, quant, hw_metrics)
-        spans = (
-            _codesign_span_tree(job, book, lift_spans.get(job.job_hash), hw_span)
-            if traced_run
-            else None
-        )
-        settle(job, JobOutcome(job, metrics=metrics, seconds=seconds, spans=spans))
-
-    # Pending stages dedup in-sweep by stage hash, like quant stages do:
-    # jobs whose lifts landed on the same address share one simulation.
-    pending_by_hash: Dict[str, List[Job]] = {}
-    tasks: List[_HwStageTask] = []
-    for job in codesign:
-        qh = job.quant_stage().job_hash
-        if qh in book.quant_errors:
-            fail(job, book.quant_errors[qh])
-            continue
-        quant = book.quant_results.get(qh)
-        if quant is None:  # phase 1 never produced it (shouldn't happen)
-            fail(job, {"type": "RuntimeError",
-                       "message": f"quant stage {qh} missing", "traceback": ""})
-            continue
-        t0 = time.perf_counter()
-        try:
-            layers = _lift_layers(quant, job)
-        except RuntimeError as exc:
-            fail(job, {"type": "RuntimeError", "message": str(exc), "traceback": ""})
-            continue
-        hh = hw_stage_hash(job.spec, layers, job.version)
-        if traced_run:
-            lift_spans[job.job_hash] = {
-                "name": "stage:lift",
-                "attrs": {"family": job.spec.family, "arch": job.spec.arch},
-                "seconds": round(time.perf_counter() - t0, 6),
-                "children": [],
-            }
-        hw_metrics = book.lookup_hw(hh)
-        if hw_metrics is not None:
-            book.hw_stage_hits += 1
-            merge(job, hw_metrics, seconds=0.0)
-            continue
-        sharers = pending_by_hash.setdefault(hh, [])
-        if sharers:
-            book.hw_stage_hits += 1  # shares a sibling's pending simulation
-        else:
-            tasks.append(_HwStageTask(job, hh, _HwStageTask.pack_layers(layers)))
-        sharers.append(job)
-
-    if not tasks:
-        return
-    name = "serial" if (executor == "auto" and len(tasks) == 1) else executor
-    pool = make_executor(name, workers)
-    for outcome in pool.run(_hw_stage_kernel, tasks):
-        task: _HwStageTask = outcome.job  # the executor echoes the task back
-        if outcome.counters and outcome.worker != my_pid:
-            foreign_counters.append(outcome.counters)
-        for job in pending_by_hash[task.stage_hash]:
-            if not outcome.ok:
-                fail(job, outcome.error)
-            else:
-                # Attribute the stage's seconds to the task's owning job only
-                # (sharers get 0.0 — the work happened once). Compare by hash:
-                # a process pool echoes back a pickled *copy* of the task, so
-                # object identity would attribute the time to nobody.
-                owner = job.job_hash == task.job.job_hash
-                merge(job, outcome.metrics,
-                      seconds=outcome.seconds if owner else 0.0,
-                      hw_span=outcome.spans)
-        if outcome.ok:
-            book.store_hw(task.stage_hash, task.job, outcome.metrics,
-                          outcome.seconds)

@@ -1,0 +1,35 @@
+"""``repro.serve`` — the long-running sweep service.
+
+A dependency-free threaded HTTP daemon over the shared
+:class:`~repro.pipeline.scheduler.SweepScheduler`: clients submit
+:class:`~repro.pipeline.spec.SweepSpec` grids as JSON, poll or SSE-stream
+per-job progress, and fetch merged results (metrics, pivots, Pareto
+frontiers) — all backed by the same content-addressed cache, stage graph,
+and run ledger the one-shot CLI uses, so service results are bit-identical
+to ``repro-sweep sweep`` and concurrent clients dedup overlapping work
+in flight.
+
+Start it with ``repro-serve`` (or ``python -m repro.serve``); talk to it
+with :class:`~repro.serve.client.ServeClient` or the ``repro-sweep
+submit / watch / results`` subcommands. Binds to 127.0.0.1 by default —
+there is no authentication; see the README's security note before
+exposing it wider.
+"""
+
+from ..pipeline.scheduler import SweepCancelled, SweepHandle, SweepScheduler
+from .client import ServeClient, ServeError, sweep_to_payload
+from .server import DEFAULT_PORT, SweepServer, build_sweep_spec, main, start_in_thread
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServeClient",
+    "ServeError",
+    "SweepCancelled",
+    "SweepHandle",
+    "SweepScheduler",
+    "SweepServer",
+    "build_sweep_spec",
+    "main",
+    "start_in_thread",
+    "sweep_to_payload",
+]

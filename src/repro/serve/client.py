@@ -1,0 +1,200 @@
+"""Urllib client for the ``repro-serve`` HTTP API.
+
+What the ``repro-sweep submit / watch / results`` subcommands, the tests,
+and ``examples/serve_client.py`` talk through — one small class per daemon,
+no third-party HTTP stack. Server-side errors (spec validation 400s,
+unknown ids, not-done-yet 409s) raise :class:`ServeError` carrying the HTTP
+status and the server's decoded error payload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import asdict
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..pipeline.spec import SweepSpec
+
+__all__ = ["ServeClient", "ServeError", "sweep_to_payload"]
+
+DEFAULT_SERVER = "http://127.0.0.1:8642"
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level failure from the service."""
+
+    def __init__(self, status: int, message: str, payload: Optional[Dict] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+def sweep_to_payload(sweep: SweepSpec) -> Dict[str, Any]:
+    """A :class:`SweepSpec` as the JSON object ``POST /api/sweeps`` expects.
+
+    Plain ``dataclasses.asdict``: tuples serialize as JSON arrays and the
+    server's :func:`~repro.serve.server.build_sweep_spec` normalizes them
+    back, so ``build_sweep_spec(sweep_to_payload(s))`` reproduces ``s`` —
+    and therefore its job hashes — exactly.
+    """
+    return asdict(sweep)
+
+
+class ServeClient:
+    """One daemon's API surface, method per endpoint."""
+
+    def __init__(self, base_url: str = DEFAULT_SERVER, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                body = resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": raw.decode("utf-8", "replace")[:500]}
+            raise ServeError(
+                exc.code, str(decoded.get("error", exc.reason)), decoded
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"cannot reach {self.base_url}: {exc.reason}")
+        if not body:
+            return {}
+        return json.loads(body.decode("utf-8"))
+
+    # ------------------------------------------------------------ endpoints
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        sweep: Any,
+        *,
+        label: str = "",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        recompute: bool = False,
+    ) -> Dict[str, Any]:
+        """Submit a sweep (a :class:`SweepSpec` or an already-JSON dict);
+        returns the acceptance payload (``sweep_id``, ``job_hashes``, …)."""
+        if isinstance(sweep, SweepSpec):
+            sweep = sweep_to_payload(sweep)
+        options: Dict[str, Any] = {}
+        if label:
+            options["label"] = label
+        if executor is not None:
+            options["executor"] = executor
+        if workers is not None:
+            options["workers"] = workers
+        if recompute:
+            options["recompute"] = True
+        return self._request(
+            "POST", "/api/sweeps", {"sweep": sweep, "options": options}
+        )
+
+    def sweeps(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/api/sweeps")["sweeps"]
+
+    def status(self, sweep_id: str, jobs: bool = False) -> Dict[str, Any]:
+        suffix = "?jobs=1" if jobs else ""
+        return self._request("GET", f"/api/sweeps/{sweep_id}{suffix}")
+
+    def cancel(self, sweep_id: str) -> Dict[str, Any]:
+        try:
+            return self._request("POST", f"/api/sweeps/{sweep_id}/cancel")
+        except ServeError as exc:
+            if exc.status == 409:  # already terminal — report, don't raise
+                return exc.payload
+            raise
+
+    def wait(
+        self, sweep_id: str, timeout: float = 600.0, poll: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the sweep is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(sweep_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"sweep {sweep_id} still {status['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def result(
+        self,
+        sweep_id: str,
+        metric: str = "auto",
+        pareto: Optional[tuple] = None,
+    ) -> Dict[str, Any]:
+        path = f"/api/sweeps/{sweep_id}/result?metric={metric}"
+        if pareto:
+            path += f"&pareto={pareto[0]},{pareto[1]}"
+        return self._request("GET", path)
+
+    def events(self, sweep_id: str) -> Iterator[Dict[str, Any]]:
+        """The submission's SSE stream, one decoded event dict at a time.
+
+        Replays history then follows live until the terminal state event;
+        keepalive comments are filtered out.
+        """
+        req = urllib.request.Request(
+            self.base_url + f"/api/sweeps/{sweep_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        resp = urllib.request.urlopen(req, timeout=self.timeout)
+        try:
+            data_lines: List[str] = []
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].lstrip())
+                elif not line and data_lines:
+                    event = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield event
+                    if event.get("event") == "state" and event.get("state") in (
+                        "done", "failed", "cancelled",
+                    ):
+                        return
+        finally:
+            resp.close()
+
+    def runs(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        path = "/api/runs" + (f"?limit={limit}" if limit is not None else "")
+        return self._request("GET", path)
+
+    def run(self, run_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/api/runs/{run_id}")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/api/metrics")
+
+    def metrics_text(self) -> str:
+        req = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/api/shutdown")

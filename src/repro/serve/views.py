@@ -1,0 +1,180 @@
+"""Server-rendered HTML views: the index and one sweep's results page.
+
+Deliberately minimal — static HTML with a meta-refresh while a sweep runs,
+a pivot table and Pareto frontier once it is done. No JavaScript framework,
+no assets to serve; everything renders from the same
+:meth:`~repro.pipeline.runner.SweepResult.pivot_table` /
+:meth:`~repro.pipeline.runner.SweepResult.pareto` payloads the JSON API
+returns, so the browser view can never drift from what clients fetch.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Any, Dict, List
+
+__all__ = ["render_index", "render_sweep"]
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: 0.6rem 0; }
+th, td { border: 1px solid #cbd5e1; padding: 0.3rem 0.7rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #eef2f7; }
+.state-done { color: #15803d; } .state-failed, .state-cancelled { color: #b91c1c; }
+.state-running { color: #b45309; } .state-queued { color: #64748b; }
+code { background: #f1f5f9; padding: 0 0.25rem; }
+.muted { color: #64748b; font-size: 0.85rem; }
+"""
+
+
+def _page(title: str, body: str, refresh: int = 0) -> str:
+    meta = f'<meta http-equiv="refresh" content="{refresh}">' if refresh else ""
+    return (
+        "<!doctype html><html><head>"
+        f"<meta charset='utf-8'><title>{html.escape(title)}</title>{meta}"
+        f"<style>{_STYLE}</style></head><body>{body}</body></html>"
+    )
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return html.escape(str(value))
+
+
+def _state_cell(state: str) -> str:
+    return f"<span class='state-{html.escape(state)}'>{html.escape(state)}</span>"
+
+
+def render_index(server: Any) -> str:
+    """The landing page: scheduler stats + one row per submission."""
+    stats = server.scheduler.stats()
+    rows = []
+    for h in reversed(server.scheduler.sweeps()):
+        p = h.progress()
+        rows.append(
+            "<tr>"
+            f"<td><a href='/view/sweeps/{html.escape(h.sweep_id)}'>"
+            f"<code>{html.escape(h.sweep_id)}</code></a></td>"
+            f"<td>{_state_cell(p['state'])}</td>"
+            f"<td>{html.escape(p.get('label') or '')}</td>"
+            f"<td>{p.get('done', 0)}/{p['n_jobs']}</td>"
+            f"<td>{p.get('cache_hits', 0)}</td>"
+            f"<td>{p.get('failures', 0)}</td>"
+            "</tr>"
+        )
+    table = (
+        "<table><tr><th>sweep</th><th>state</th><th>label</th><th>done</th>"
+        "<th>cached</th><th>failed</th></tr>" + "".join(rows) + "</table>"
+        if rows
+        else "<p class='muted'>no submissions yet — POST a SweepSpec to "
+             "<code>/api/sweeps</code> or use <code>repro-sweep submit</code>"
+             "</p>"
+    )
+    running = any(
+        h.state in ("queued", "running") for h in server.scheduler.sweeps()
+    )
+    body = (
+        "<h1>repro-serve</h1>"
+        f"<p class='muted'>executor {html.escape(str(stats['executor']))} · "
+        f"{stats['sweeps']} submission(s) · cache "
+        f"<code>{html.escape(str(stats['cache_dir']))}</code> · "
+        f"API: <code>/api/sweeps</code>, <code>/api/runs</code>, "
+        f"<code>/metrics</code>, <code>/healthz</code></p>" + table
+    )
+    return _page("repro-serve", body, refresh=2 if running else 0)
+
+
+def _pivot_table_html(pivot: Dict[str, Any]) -> str:
+    columns: List[str] = pivot.get("columns") or []
+    rows: Dict[str, Dict[str, Any]] = pivot.get("rows") or {}
+    if not columns:
+        return "<p class='muted'>no successful jobs</p>"
+    head = "<tr><th>family</th>" + "".join(
+        f"<th>{html.escape(c)}</th>" for c in columns
+    ) + "</tr>"
+    body = "".join(
+        "<tr><td>" + html.escape(str(family)) + "</td>"
+        + "".join(f"<td>{_fmt(row.get(c))}</td>" for c in columns)
+        + "</tr>"
+        for family, row in rows.items()
+    )
+    return f"<table>{head}{body}</table>"
+
+
+def _pareto_html(frontiers: Dict[Any, List[Dict[str, Any]]]) -> str:
+    parts = []
+    for family, points in frontiers.items():
+        if not points:
+            continue
+        xn = html.escape(points[0]["x_metric"])
+        yn = html.escape(points[0]["y_metric"])
+        rows = "".join(
+            f"<tr><td>{html.escape(p['label'])}</td>"
+            f"<td>{_fmt(p['x'])}</td><td>{_fmt(p['y'])}</td></tr>"
+            for p in points
+        )
+        parts.append(
+            f"<h2>Pareto — {html.escape(str(family))}</h2>"
+            f"<table><tr><th>setting</th><th>{xn}</th><th>{yn}</th></tr>"
+            f"{rows}</table>"
+        )
+    return "".join(parts)
+
+
+def render_sweep(handle: Any) -> str:
+    """One submission: status header, job states, results when done."""
+    p = handle.progress()
+    state = p["state"]
+    header = (
+        f"<h1><code>{html.escape(handle.sweep_id)}</code> "
+        f"{_state_cell(state)}</h1>"
+        f"<p class='muted'>{p.get('done', 0)}/{p['n_jobs']} jobs · "
+        f"{p.get('cache_hits', 0)} cached · {p.get('attached_jobs', 0)} "
+        f"attached · {p.get('failures', 0)} failed · digest "
+        f"<code>{html.escape(p['spec_digest'][:16])}</code> · "
+        f"<a href='/'>all sweeps</a> · "
+        f"<a href='/api/sweeps/{html.escape(handle.sweep_id)}'>JSON</a></p>"
+    )
+    if p.get("error"):
+        header += (
+            f"<p class='state-failed'>{html.escape(str(p['error']))}</p>"
+        )
+    sections = []
+    if state == "done":
+        result = handle.result(timeout=0)
+        sections.append("<h2>Results</h2>")
+        sections.append(_pivot_table_html(result.pivot_table()))
+        try:
+            frontiers = result.pareto()
+            if any(frontiers.values()):
+                sections.append(_pareto_html(frontiers))
+        except Exception:
+            pass  # heterogeneous sweeps without both metrics: no frontier
+        run_id = result.telemetry.get("run_id")
+        if run_id:
+            sections.append(
+                f"<p class='muted'>ledger run <code>{html.escape(run_id)}"
+                f"</code> · <a href='/api/runs/{html.escape(run_id)}'>record"
+                "</a></p>"
+            )
+    job_rows = "".join(
+        f"<tr><td>{html.escape(j['label'])}</td>"
+        f"<td><code>{html.escape(j['hash'][:12])}</code></td>"
+        f"<td>{_state_cell(j['state'])}</td></tr>"
+        for j in handle.job_states()
+    )
+    sections.append(
+        "<h2>Jobs</h2><table><tr><th>label</th><th>hash</th><th>state</th>"
+        f"</tr>{job_rows}</table>"
+    )
+    sections.append(
+        f"<p class='muted'>rendered {time.strftime('%H:%M:%S')}</p>"
+    )
+    refresh = 2 if state in ("queued", "running") else 0
+    return _page(handle.sweep_id, header + "".join(sections), refresh)
