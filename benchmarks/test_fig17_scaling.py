@@ -33,7 +33,7 @@ def compute(cache_dir):
         grid[(r, c, "olive")] = _spec("olive", r, c, buf)
     result = run_hw_sweep(list(grid.values()), cache_dir)
     rows = []
-    for r, c, buf in SCALES:
+    for r, c, _buf in SCALES:
         ms1 = result[grid[(r, c, "ms1")]]
         ms8 = result[grid[(r, c, "ms8")]]
         ol = result[grid[(r, c, "olive")]]

@@ -26,7 +26,7 @@ def test_table8_omni_microscopiq(benchmark, ppl_cache):
     table = benchmark.pedantic(compute, args=(ppl_cache,), rounds=1, iterations=1)
     rows = []
     for fam in FAMILIES:
-        for name, wb, ab in SETTINGS:
+        for name, _wb, _ab in SETTINGS:
             rows.append(
                 [
                     fam,
@@ -43,7 +43,7 @@ def test_table8_omni_microscopiq(benchmark, ppl_cache):
         rows,
     )
     for fam in FAMILIES:
-        for name, wb, ab in SETTINGS:
+        for name, _wb, _ab in SETTINGS:
             omni_ms = table[(fam, name, "omni-microscopiq")]
             assert omni_ms < table[(fam, name, "omniquant")]
             assert omni_ms <= table[(fam, name, "microscopiq")] * 1.05

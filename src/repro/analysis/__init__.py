@@ -1,0 +1,38 @@
+"""``repro.analysis`` — the self-hosted static invariant checker.
+
+The stack's correctness conventions (deterministic kernels, lock-guarded
+shared state, schema⇄signature registry consistency, a closed observability
+vocabulary) are enforced mechanically by ``repro-lint``: a stdlib-``ast``
+rule engine with cross-module symbol tables, inline suppressions, and a
+committed ratcheting baseline. See :mod:`repro.analysis.engine` for the
+machinery and :mod:`repro.analysis.rules` for the rule families.
+"""
+
+from . import rules  # noqa: F401  (importing registers the built-in rules)
+from .engine import (
+    BASELINE_DEFAULT,
+    Finding,
+    Project,
+    RULES,
+    Rule,
+    build_project,
+    load_baseline,
+    partition_against_baseline,
+    rule,
+    run_rules,
+    write_baseline,
+)
+
+__all__ = [
+    "BASELINE_DEFAULT",
+    "Finding",
+    "Project",
+    "RULES",
+    "Rule",
+    "build_project",
+    "load_baseline",
+    "partition_against_baseline",
+    "rule",
+    "run_rules",
+    "write_baseline",
+]

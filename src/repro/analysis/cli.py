@@ -1,0 +1,160 @@
+"""``repro-lint`` — run the static invariant checker from the command line.
+
+Usage::
+
+    repro-lint [paths...] [--format text|gcc|json]
+               [--baseline check|write|off] [--baseline-file PATH]
+               [--select rule-id,rule-id] [--list-rules]
+
+Exit codes: 0 = clean (or every finding baselined), 1 = new findings,
+2 = usage error. ``--format gcc`` emits ``path:line: error: ...`` lines for
+editor/CI annotation; ``--format json`` dumps findings plus the
+new/stale-vs-baseline split for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import rules  # noqa: F401  (register the built-in rules)
+from .engine import (
+    BASELINE_DEFAULT,
+    Finding,
+    RULES,
+    build_project,
+    load_baseline,
+    partition_against_baseline,
+    run_rules,
+    write_baseline,
+)
+
+
+def _default_paths() -> list[Path]:
+    src = Path("src") / "repro"
+    if src.is_dir():
+        return [src]
+    if Path("repro").is_dir():
+        return [Path("repro")]
+    return [Path(".")]
+
+
+def _render_text(findings: list[Finding], stale: list[str]) -> None:
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        if f.hint:
+            print(f"    hint: {f.hint}")
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'} "
+              "(fixed findings still listed) — run --baseline write to shrink:")
+        for key in stale:
+            print(f"    {key}")
+    n = len(findings)
+    print(f"repro-lint: {n} new finding{'s' if n != 1 else ''}")
+
+
+def _render_gcc(findings: list[Finding]) -> None:
+    for f in findings:
+        print(f"{f.path}:{f.line}:1: error: {f.message} [{f.rule}]")
+
+
+def _render_json(
+    findings: list[Finding], all_findings: list[Finding], stale: list[str]
+) -> None:
+    payload = {
+        "findings": [f.as_dict() for f in all_findings],
+        "new": [f.as_dict() for f in findings],
+        "stale_baseline_keys": stale,
+    }
+    print(json.dumps(payload, indent=2))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="static invariant checker for the repro stack",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "gcc", "json"), default="text",
+        dest="fmt", help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", choices=("check", "write", "off"), default="check",
+        help="baseline mode: check = fail only on non-baselined findings "
+        "(default), write = regenerate the baseline file, off = ignore it",
+    )
+    parser.add_argument(
+        "--baseline-file", type=Path, default=Path(BASELINE_DEFAULT),
+        help=f"baseline file path (default: {BASELINE_DEFAULT})",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(r) for r in RULES)
+        for rule_id in sorted(RULES):
+            print(f"{rule_id:<{width}}  {RULES[rule_id].summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+        unknown = [s for s in select if s not in RULES]
+        if unknown:
+            print(
+                f"repro-lint: unknown rule id(s): {', '.join(unknown)} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = args.paths or _default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro-lint: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    project = build_project(paths)
+    findings = run_rules(project, select=select)
+
+    if args.baseline == "write":
+        write_baseline(args.baseline_file, findings)
+        print(
+            f"repro-lint: wrote {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} to {args.baseline_file}"
+        )
+        return 0
+
+    stale: list[str] = []
+    new = findings
+    if args.baseline == "check":
+        baseline = load_baseline(args.baseline_file)
+        new, stale = partition_against_baseline(findings, baseline)
+
+    if args.fmt == "gcc":
+        _render_gcc(new)
+    elif args.fmt == "json":
+        _render_json(new, findings, stale)
+    else:
+        _render_text(new, stale)
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

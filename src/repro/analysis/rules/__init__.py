@@ -1,0 +1,16 @@
+"""Built-in ``repro-lint`` rules; importing this package registers them.
+
+Each module contributes one rule family (see the package README section
+"Static analysis" for the catalog):
+
+* :mod:`.determinism` — ``det-wallclock``, ``det-global-rng``,
+  ``det-set-iter``, ``det-id``
+* :mod:`.locks` — ``lock-unguarded-write``
+* :mod:`.registry` — ``reg-method-schema``, ``reg-capability``,
+  ``reg-arch-schema``, ``reg-workload-shape``
+* :mod:`.obsnames` — ``obs-metric-name``, ``obs-span-name``
+"""
+
+from . import determinism, locks, obsnames, registry  # noqa: F401  (registration)
+
+__all__ = ["determinism", "locks", "obsnames", "registry"]

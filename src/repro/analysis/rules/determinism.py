@@ -1,0 +1,224 @@
+"""Determinism rules: kernel modules must be pure functions of their inputs.
+
+Job identity is a SHA-256 over canonical spec content (``HASH_VERSION``
+epoch), and the result cache / in-flight dedup assume a job re-executed with
+the same spec produces the same artifact. Anything on the kernel path that
+reads a wall clock, an OS entropy source, or *global* RNG state breaks that
+contract silently; anything feeding a job hash that iterates a ``set`` or
+keys off ``id()`` hashes differently across processes.
+
+Scope: modules under the packages reachable from ``execute_job`` kernels
+(``repro.quant``, ``repro.baselines``, ``repro.formats``, ``repro.hw``,
+``repro.methods``), plus ``repro.pipeline.spec`` for the hash-feeding rules.
+Seeded, locally constructed generators (``np.random.default_rng(seed)``)
+are explicitly allowed — that is the sanctioned way to be stochastic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleInfo, Project, rule
+
+#: Packages whose modules run inside ``execute_job``.
+KERNEL_PREFIXES = (
+    "repro.quant",
+    "repro.baselines",
+    "repro.formats",
+    "repro.hw",
+    "repro.methods",
+)
+
+#: Additionally feeds job hashes (canonical spec serialization).
+HASH_PREFIXES = KERNEL_PREFIXES + ("repro.pipeline.spec",)
+
+#: Wall-clock / entropy calls with no place on a kernel path.
+_WALLCLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.perf_counter",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+})
+
+#: numpy.random entry points that are fine: explicitly seeded constructors.
+_RNG_ALLOWED = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+})
+
+
+def _in_scope(mod: ModuleInfo, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        mod.dotted == p or mod.dotted.startswith(p + ".") for p in prefixes
+    )
+
+
+def _enclosing_symbol(mod: ModuleInfo, target: ast.AST) -> str:
+    """Qualified name of the innermost def/class containing ``target``."""
+    best: list[str] = []
+
+    def visit(node: ast.AST, stack: list[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            nstack = stack
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                nstack = stack + [child.name]
+            if child is target:
+                best.extend(nstack)
+                return
+            visit(child, nstack)
+
+    visit(mod.tree, [])
+    return ".".join(best) if best else "<module>"
+
+
+@rule
+class WallclockRule:
+    id = "det-wallclock"
+    summary = "wall-clock / entropy call in a kernel-path module"
+    hint = (
+        "kernels must be pure functions of their inputs; pass timestamps in "
+        "from the pipeline layer, or suppress with a justification if this "
+        "is a maintenance path that never runs inside execute_job"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not _in_scope(mod, KERNEL_PREFIXES):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = mod.resolve(node.func)
+            if target in _WALLCLOCK:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=node.lineno,
+                    message=f"call to {target}() on the kernel path",
+                    hint=self.hint,
+                    symbol=f"{_enclosing_symbol(mod, node)}.{target}",
+                )
+
+
+@rule
+class GlobalRngRule:
+    id = "det-global-rng"
+    summary = "global RNG state used in a kernel-path module"
+    hint = (
+        "use a locally constructed, explicitly seeded generator "
+        "(np.random.default_rng(seed)) so the same spec always quantizes "
+        "the same way"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not _in_scope(mod, KERNEL_PREFIXES):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = mod.resolve(node.func)
+            if target is None:
+                continue
+            bad = None
+            if target.startswith("random."):
+                bad = f"stdlib global RNG {target}()"
+            elif target.startswith("numpy.random.") and target not in _RNG_ALLOWED:
+                bad = f"numpy global RNG {target}()"
+            elif target == "numpy.random.default_rng" and not (
+                node.args or node.keywords
+            ):
+                bad = "unseeded numpy.random.default_rng()"
+            if bad:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=node.lineno,
+                    message=bad,
+                    hint=self.hint,
+                    symbol=f"{_enclosing_symbol(mod, node)}.{target}",
+                )
+
+
+def _is_set_expr(node: ast.expr, mod: ModuleInfo) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return mod.resolve(node.func) == "set"
+    return False
+
+
+@rule
+class SetIterationRule:
+    id = "det-set-iter"
+    summary = "unordered set iteration in a hash-feeding module"
+    hint = (
+        "set iteration order varies across processes (PYTHONHASHSEED); "
+        "wrap in sorted(...) before anything that reaches a job hash"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not _in_scope(mod, HASH_PREFIXES):
+            return
+        for node in ast.walk(mod.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                target = mod.resolve(node.func)
+                if target in {"list", "tuple", "enumerate"}:
+                    iters.extend(node.args[:1])
+            for it in iters:
+                if _is_set_expr(it, mod):
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=it.lineno,
+                        message="iterating a set in arbitrary order",
+                        hint=self.hint,
+                        symbol=f"{_enclosing_symbol(mod, it)}.set-iter",
+                    )
+
+
+@rule
+class IdentityRule:
+    id = "det-id"
+    summary = "id() used in a hash-feeding module"
+    hint = (
+        "id() is a memory address — different every process; key on content "
+        "(spec hash, name) instead"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not _in_scope(mod, HASH_PREFIXES):
+            return
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and mod.resolve(node.func) == "id"
+            ):
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=node.lineno,
+                    message="id() call in a hash-feeding module",
+                    hint=self.hint,
+                    symbol=f"{_enclosing_symbol(mod, node)}.id",
+                )

@@ -1,0 +1,157 @@
+"""Lock discipline: classes that own a lock must write shared state under it.
+
+The scheduler's ``_InflightBook``/``SweepHandle``, the ``HessianStore``, the
+``MetricsRegistry``, the ``ResultCache``, and the ``ProgressTracker`` are all
+mutated from worker threads. The convention is simple and checkable: a class
+that assigns ``self._lock`` (or ``self._cond``) in ``__init__`` /
+``__post_init__`` has opted into guarded mutation, so any later
+``self.attr = ...`` / ``self.attr += ...`` that is not lexically inside a
+``with self._lock:`` (or ``with self._cond:``) block is flagged.
+
+The constructor itself is exempt (no other thread can hold a reference yet),
+as are writes to the guard attributes themselves. Single-writer fields that
+are deliberately unguarded (e.g. a ``Span`` mutated only by its owning
+thread) get an inline suppression with the justification — that is a
+feature: the exception becomes part of the reviewed source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleInfo, Project, rule
+
+#: Attribute names whose assignment marks a class as lock-owning.
+GUARD_NAMES = ("_lock", "_cond")
+
+#: Methods where unguarded writes are fine: nobody else has a reference yet.
+_CTOR_METHODS = {"__init__", "__post_init__", "__new__", "__copy__", "__deepcopy__"}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` → attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guards_owned(cls: ast.ClassDef) -> set[str]:
+    """Guard attributes (``_lock``/``_cond``) assigned in a constructor."""
+    owned: set[str] = set()
+    for item in cls.body:
+        if (
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name in _CTOR_METHODS
+        ):
+            for node in ast.walk(item):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        attr = _self_attr(tgt)
+                        if attr in GUARD_NAMES:
+                            owned.add(attr)
+    return owned
+
+
+def _with_guards(node: ast.With) -> set[str]:
+    """Guard attributes entered by this ``with`` statement."""
+    out: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        # Accept ``with self._lock:`` and ``with self._cond:``; also
+        # ``with self._lock, other:`` via the per-item loop.
+        attr = _self_attr(expr)
+        if attr in GUARD_NAMES:
+            out.add(attr)
+        # ``self._cond.acquire()``-style context calls (rare) stay unflagged
+        # only via suppression; keep the rule simple and lexical.
+    return out
+
+
+def _write_targets(node: ast.stmt) -> list[ast.expr]:
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Tuple):
+                targets.extend(tgt.elts)
+            else:
+                targets.append(tgt)
+    elif isinstance(node, ast.AugAssign):
+        targets.append(node.target)
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets.append(node.target)
+    return targets
+
+
+@rule
+class UnguardedWriteRule:
+    id = "lock-unguarded-write"
+    summary = "attribute written outside `with self._lock` in a lock-owning class"
+    hint = (
+        "move the write inside the `with self._lock:` block (or suppress "
+        "with a one-line justification if the field is single-writer by "
+        "construction)"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        for cls in ast.walk(mod.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            guards = _guards_owned(cls)
+            if not guards:
+                continue
+            for item in cls.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in _CTOR_METHODS:
+                    continue
+                yield from self._check_method(mod, cls, item, guards)
+
+    def _check_method(
+        self,
+        mod: ModuleInfo,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        guards: set[str],
+    ) -> Iterator[Finding]:
+        rule_id = self.id
+        hint = self.hint
+
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST, held: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_held = held
+                if isinstance(child, ast.With) and _with_guards(child):
+                    child_held = True
+                if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    if not child_held:
+                        for tgt in _write_targets(child):
+                            attr = _self_attr(tgt)
+                            # Subscript writes (self.d[k] = v) hang off an
+                            # Attribute one level down.
+                            if attr is None and isinstance(tgt, ast.Subscript):
+                                attr = _self_attr(tgt.value)
+                            if attr is not None and attr not in GUARD_NAMES:
+                                findings.append(
+                                    Finding(
+                                        rule=rule_id,
+                                        path=mod.rel,
+                                        line=child.lineno,
+                                        message=(
+                                            f"self.{attr} written outside "
+                                            f"`with self.{sorted(guards)[0]}` "
+                                            f"in lock-owning class {cls.name}"
+                                        ),
+                                        hint=hint,
+                                        symbol=f"{cls.name}.{method.name}.{attr}",
+                                    )
+                                )
+                visit(child, child_held)
+
+        visit(method, False)
+        yield from findings

@@ -1,0 +1,149 @@
+"""Observability naming: spans and metric keys must match the vocabulary.
+
+``repro.obs.naming`` is the documented ``layer.noun`` vocabulary; the
+``report``/``trace`` views aggregate by those exact strings. A typo'd
+counter key (``pipeline.jobs_computd``) or an undocumented span name
+fragments attribution silently — the counter increments, nothing reads it.
+
+These rules fire only in modules that import from ``repro.obs`` (the rest
+of the tree has no instrumentation to misname) and never in ``repro.obs``
+itself (the implementation passes names through variables by design):
+
+* ``obs-metric-name`` — every ``METRICS.incr/set/observe("...")`` literal
+  must be in ``METRIC_NAMES``; dynamic (f-string) keys are flagged so the
+  expansion set gets documented and the site suppressed with justification.
+* ``obs-span-name`` — every ``trace("...")`` / ``tracer.capture("...")`` /
+  ``tracer.span("...")`` literal must be in ``SPAN_NAMES``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ...obs.naming import METRIC_NAMES, SPAN_NAMES
+from ..engine import Finding, ModuleInfo, Project, rule
+
+#: METRICS methods whose first argument is a metric key.
+_METRIC_METHODS = {"incr", "set", "observe", "add"}
+
+#: Callables whose first argument is a span name.
+_SPAN_CALLS = {"trace", "capture", "span"}
+
+
+def _uses_obs(mod: ModuleInfo) -> bool:
+    if mod.dotted.startswith("repro.obs"):
+        return False  # the implementation itself is exempt
+    return any(
+        target == "repro.obs" or target.startswith("repro.obs.")
+        for target in mod.imports.values()
+    )
+
+
+@rule
+class MetricNameRule:
+    id = "obs-metric-name"
+    summary = "METRICS key not in the documented vocabulary"
+    hint = (
+        "add the key to repro.obs.naming.METRIC_NAMES (documenting its "
+        "layer.noun meaning) or fix the typo; for dynamic keys, document "
+        "every expansion and suppress the site with a justification"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not _uses_obs(mod):
+            return
+        for node in ast.walk(mod.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+                and node.args
+            ):
+                continue
+            base = mod.resolve(node.func.value)
+            if base is None or base.rpartition(".")[2] != "METRICS":
+                continue
+            key_node = node.args[0]
+            if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+                if key_node.value not in METRIC_NAMES:
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=node.lineno,
+                        message=(
+                            f"metric key {key_node.value!r} is not in the "
+                            "documented vocabulary (repro.obs.naming)"
+                        ),
+                        hint=self.hint,
+                        symbol=f"metric.{key_node.value}",
+                    )
+            else:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=node.lineno,
+                    message=(
+                        "dynamic metric key — the vocabulary cannot verify "
+                        "its expansions"
+                    ),
+                    hint=self.hint,
+                    symbol=f"metric.dynamic@L{node.lineno}",
+                )
+
+
+@rule
+class SpanNameRule:
+    id = "obs-span-name"
+    summary = "trace span name not in the documented vocabulary"
+    hint = (
+        "add the span to repro.obs.naming.SPAN_NAMES (documenting where it "
+        "sits in the sweep→job→stage→kernel hierarchy) or fix the typo"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not _uses_obs(mod):
+            return
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            name: str | None = None
+            if isinstance(node.func, ast.Name):
+                target = mod.resolve(node.func) or ""
+                if (
+                    node.func.id in _SPAN_CALLS
+                    and target.startswith("repro.obs")
+                ):
+                    name = "x"
+            elif isinstance(node.func, ast.Attribute):
+                if node.func.attr in {"capture", "span"}:
+                    base = mod.resolve(node.func.value) or ""
+                    if base.rpartition(".")[2].lower().endswith("tracer"):
+                        name = "x"
+            if name is None:
+                continue
+            span_node = node.args[0]
+            if isinstance(span_node, ast.Constant) and isinstance(
+                span_node.value, str
+            ):
+                if span_node.value not in SPAN_NAMES:
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=node.lineno,
+                        message=(
+                            f"span name {span_node.value!r} is not in the "
+                            "documented vocabulary (repro.obs.naming)"
+                        ),
+                        hint=self.hint,
+                        symbol=f"span.{span_node.value}",
+                    )
+            else:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=node.lineno,
+                    message="dynamic span name — cannot verify against the vocabulary",
+                    hint=self.hint,
+                    symbol=f"span.dynamic@L{node.lineno}",
+                )

@@ -1,0 +1,642 @@
+"""Registry consistency: declared schemas must match the code behind them.
+
+Three parallel registries pair a declarative surface with an implementation:
+
+* ``MethodSpec`` — a typed ``Param`` schema + capability flags in front of a
+  ``quantize_<name>(weights, calib, **kw)`` kernel;
+* ``HwArchSpec`` — arch knobs + an ``area_builder`` callable;
+* ``WorkloadFactory`` — ``shape_params`` naming the streaming knobs its
+  ``build`` actually consumes.
+
+Each pairing can drift silently: a schema ``Param`` the kernel never
+accepts crashes at call time; a schema *default* that differs from the
+kernel default means the documented value is a lie; a ``needs_hessian``
+method whose schema omits the ``damp_param`` pins the damping at the
+fallback with no way to sweep it; a ``shape_params`` entry the build
+swallows via ``**_`` silently no-ops a grid axis.
+
+The rules resolve the registered callables through the project symbol table
+(including one level of factory indirection: ``adapter(fn)`` lambdas,
+``_fixed_area(...)`` closures, ``_build_transformer(substrate)`` inner
+defs, helper functions returning ``Param`` tuples, and ``**common`` dict
+splats). Anything it cannot resolve it skips silently — the rules only
+report what they can prove from the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator
+
+from ..engine import Finding, ModuleInfo, Project, rule
+
+#: Engine-supplied universals every method kernel may receive.
+_UNIVERSAL = {"bits", "act_bits"}
+
+#: Leading positional kernel parameters that are not schema knobs.
+_KERNEL_LEADING = 2  # (weights, calib_inputs)
+
+_MISSING = object()
+
+
+# --------------------------------------------------------------- resolution
+
+
+def _literal(node: ast.AST | None) -> Any:
+    if node is None:
+        return _MISSING
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, TypeError, SyntaxError):
+        return _MISSING
+
+
+def _local_assigns(mod: ModuleInfo) -> dict[str, ast.expr]:
+    """name → last assigned value node, module-wide (incl. function scopes)."""
+    out: dict[str, ast.expr] = {}
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            tgt = node.targets[0]
+            if isinstance(tgt, ast.Name):
+                out[tgt.id] = node.value
+    return out
+
+
+def _spec_calls(
+    mod: ModuleInfo, class_names: tuple[str, ...]
+) -> Iterator[ast.Call]:
+    """Every call in ``mod`` constructing one of the given spec classes."""
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = mod.resolve(node.func)
+        if target is None:
+            continue
+        short = target.rpartition(".")[2]
+        if short in class_names:
+            yield node
+
+
+def _call_kwargs(
+    mod: ModuleInfo, call: ast.Call, assigns: dict[str, ast.expr]
+) -> dict[str, ast.expr]:
+    """Keyword arguments of a spec call, resolving one ``**dict(...)`` splat."""
+    out: dict[str, ast.expr] = {}
+    for kw in call.keywords:
+        if kw.arg is not None:
+            out[kw.arg] = kw.value
+            continue
+        # **common splat: chase a local `common = dict(...)` assignment.
+        value = kw.value
+        if isinstance(value, ast.Name):
+            value = assigns.get(value.id, value)
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) and (
+            value.func.id == "dict"
+        ):
+            for inner in value.keywords:
+                if inner.arg is not None:
+                    out[inner.arg] = inner.value
+        elif isinstance(value, ast.Dict):
+            for k, v in zip(value.keys, value.values):
+                if isinstance(k, ast.Constant) and isinstance(k.value, str):
+                    out[k.value] = v
+    return out
+
+
+def _fn_def(obj: ast.AST | None) -> ast.FunctionDef | None:
+    if isinstance(obj, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return obj
+    return None
+
+
+def _returned_inner_def(fn: ast.FunctionDef) -> ast.FunctionDef | None:
+    """For factory functions: the inner ``def`` a ``return`` hands back."""
+    inner = {
+        n.name: n for n in fn.body if isinstance(n, ast.FunctionDef)
+    }
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+            if node.value.id in inner:
+                return inner[node.value.id]
+    return None
+
+
+def _resolve_callable(
+    mod: ModuleInfo, project: Project, node: ast.expr | None
+) -> tuple[ModuleInfo, ast.FunctionDef] | None:
+    """Resolve a registered callable: a name, or a one-level factory call."""
+    if node is None:
+        return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        found = project.resolve_def(mod, node)
+        if found is not None:
+            fn = _fn_def(found[1])
+            if fn is not None:
+                return found[0], fn
+        return None
+    if isinstance(node, ast.Call):
+        found = project.resolve_def(mod, node.func)
+        if found is not None:
+            factory = _fn_def(found[1])
+            if factory is not None:
+                inner = _returned_inner_def(factory)
+                if inner is not None:
+                    return found[0], inner
+    return None
+
+
+def _kernel_from_make(
+    mod: ModuleInfo, project: Project, make: ast.expr | None
+) -> tuple[ModuleInfo, ast.FunctionDef] | None:
+    """The quantization kernel referenced anywhere inside a ``make=`` factory.
+
+    ``make`` is a zero-arg factory (``adapter(quantize_rtn)``, a lambda
+    constructing an adapter class around the kernel, …); the kernel is the
+    first name in the expression that resolves to a project *function*
+    (adapter classes resolve to ClassDefs and are skipped).
+    """
+    if make is None:
+        return None
+    for node in ast.walk(make):
+        if not isinstance(node, ast.Name):
+            continue
+        found = project.resolve_def(mod, node)
+        if found is not None:
+            fn = _fn_def(found[1])
+            if fn is not None:
+                return found[0], fn
+    return None
+
+
+def _fn_signature(
+    fn: ast.FunctionDef, skip_leading: int = 0
+) -> tuple[dict[str, Any], bool]:
+    """(named param → default literal or _MISSING, accepts **kwargs)."""
+    args = fn.args
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults = list(args.defaults)
+    named: dict[str, Any] = {}
+    pad = len(positional) - len(defaults)
+    for idx, a in enumerate(positional):
+        if idx < skip_leading:
+            continue
+        d = defaults[idx - pad] if idx >= pad else None
+        named[a.arg] = _literal(d) if d is not None else _MISSING
+    kw_defaults = list(args.kw_defaults)
+    for a, d in zip(args.kwonlyargs, kw_defaults):
+        named[a.arg] = _literal(d) if d is not None else _MISSING
+    return named, args.kwarg is not None
+
+
+# ----------------------------------------------------------- Param schemas
+
+
+def _param_entries(
+    mod: ModuleInfo,
+    project: Project,
+    node: ast.expr | None,
+    assigns: dict[str, ast.expr],
+    bindings: dict[str, ast.expr] | None = None,
+    depth: int = 0,
+) -> list[tuple[str, Any, int]] | None:
+    """Flatten a ``params=`` expression into ``(name, default, line)`` rows.
+
+    Follows: tuple/list literals, ``Param(...)`` calls, module/function
+    assignments (``_N_RECON``), helper functions returning a ``Param`` or a
+    tuple of them (``_group()``, ``_microscopiq_params()``) with argument
+    substitution. Returns ``None`` when any element is unresolvable.
+    """
+    if node is None or depth > 4:
+        return None
+    bindings = bindings or {}
+    if isinstance(node, ast.Name):
+        sub = bindings.get(node.id) or assigns.get(node.id)
+        if sub is not None and sub is not node:
+            return _param_entries(mod, project, sub, assigns, None, depth + 1)
+        return None
+    if isinstance(node, (ast.Tuple, ast.List)):
+        rows: list[tuple[str, Any, int]] = []
+        for elt in node.elts:
+            got = _param_entries(mod, project, elt, assigns, bindings, depth + 1)
+            if got is None:
+                return None
+            rows.extend(got)
+        return rows
+    if isinstance(node, ast.Call):
+        target = mod.resolve(node.func)
+        if target is not None and target.rpartition(".")[2] == "Param":
+            name_node: ast.expr | None = None
+            default_node: ast.expr | None = None
+            if node.args:
+                name_node = node.args[0]
+            if len(node.args) > 1:
+                default_node = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name_node = kw.value
+                elif kw.arg == "default":
+                    default_node = kw.value
+            if isinstance(name_node, ast.Name) and name_node.id in bindings:
+                name_node = bindings[name_node.id]
+            if isinstance(default_node, ast.Name) and default_node.id in bindings:
+                default_node = bindings[default_node.id]
+            name = _literal(name_node)
+            if not isinstance(name, str):
+                return None
+            return [(name, _literal(default_node), node.lineno)]
+        # A helper call returning Param(s): inline it with arg substitution.
+        found = project.resolve_def(mod, node.func)
+        helper = _fn_def(found[1]) if found is not None else None
+        if helper is not None:
+            ret = next(
+                (
+                    n.value
+                    for n in ast.walk(helper)
+                    if isinstance(n, ast.Return) and n.value is not None
+                ),
+                None,
+            )
+            if ret is None:
+                return None
+            sub: dict[str, ast.expr] = {}
+            hargs = helper.args
+            positional = list(hargs.posonlyargs) + list(hargs.args)
+            pad = len(positional) - len(hargs.defaults)
+            for idx, a in enumerate(positional):
+                if idx < len(node.args):
+                    sub[a.arg] = node.args[idx]
+                elif idx >= pad:
+                    sub[a.arg] = hargs.defaults[idx - pad]
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    sub[kw.arg] = kw.value
+            helper_mod = found[0] if found is not None else mod
+            return _param_entries(
+                helper_mod, project, ret, _local_assigns(helper_mod), sub, depth + 1
+            )
+    return None
+
+
+def _config_field_names(
+    mod: ModuleInfo, project: Project, fn: ast.FunctionDef
+) -> set[str]:
+    """Dataclass field names of the kernel's ``config=`` parameter type."""
+    ann = None
+    for a in list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs):
+        if a.arg == "config":
+            ann = a.annotation
+            break
+    if ann is None:
+        return set()
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Name) and node.id not in {"None", "Optional"}:
+            found = project.resolve_def(mod, node)
+            if found is not None and isinstance(found[1], ast.ClassDef):
+                return {
+                    stmt.target.id
+                    for stmt in found[1].body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                }
+    return set()
+
+
+def _flag(kwargs: dict[str, ast.expr], name: str, default: Any = False) -> Any:
+    node = kwargs.get(name)
+    if node is None:
+        return default
+    value = _literal(node)
+    return default if value is _MISSING else value
+
+
+def _spec_label(kwargs: dict[str, ast.expr], call: ast.Call, cls: str) -> str:
+    name = _literal(kwargs.get("name"))
+    if isinstance(name, str):
+        return name
+    return f"{cls}@L{call.lineno}"
+
+
+# ------------------------------------------------------------------- rules
+
+
+@rule
+class MethodSchemaRule:
+    id = "reg-method-schema"
+    summary = "MethodSpec Param schema out of sync with its kernel signature"
+    hint = (
+        "the schema is the method's public contract — rename/remove the "
+        "Param, extend the kernel, or align the defaults"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        assigns = _local_assigns(mod)
+        for call in _spec_calls(mod, ("MethodSpec",)):
+            kwargs = _call_kwargs(mod, call, assigns)
+            label = _spec_label(kwargs, call, "MethodSpec")
+            kernel = _kernel_from_make(mod, project, kwargs.get("make"))
+            entries = _param_entries(mod, project, kwargs.get("params"), assigns)
+            if kernel is None:
+                continue
+            kmod, kfn = kernel
+            named, has_kwargs = _fn_signature(kfn, skip_leading=_KERNEL_LEADING)
+            config_fields = _config_field_names(kmod, project, kfn)
+            accepted = set(named) | _UNIVERSAL | config_fields
+            if entries is not None:
+                for pname, pdefault, line in entries:
+                    if pname not in accepted and not has_kwargs:
+                        yield Finding(
+                            rule=self.id,
+                            path=mod.rel,
+                            line=line,
+                            message=(
+                                f"method {label!r}: schema param {pname!r} is "
+                                f"not accepted by kernel {kfn.name}()"
+                            ),
+                            hint=self.hint,
+                            symbol=f"{label}.param.{pname}",
+                        )
+                        continue
+                    kdefault = named.get(pname, _MISSING)
+                    if (
+                        pdefault is not _MISSING
+                        and kdefault is not _MISSING
+                        and pdefault is not None
+                        and kdefault is not None
+                        and pdefault != kdefault
+                    ):
+                        yield Finding(
+                            rule=self.id,
+                            path=mod.rel,
+                            line=line,
+                            message=(
+                                f"method {label!r}: schema default "
+                                f"{pname}={pdefault!r} differs from kernel "
+                                f"default {kdefault!r}"
+                            ),
+                            hint=self.hint,
+                            symbol=f"{label}.default.{pname}",
+                        )
+            schema_names = {e[0] for e in entries} if entries is not None else None
+            if schema_names is None:
+                continue
+            # group_param (default "group_size") must be a schema knob.
+            group = _flag(kwargs, "group_param", "group_size")
+            if group is not None and group not in schema_names:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=call.lineno,
+                    message=(
+                        f"method {label!r}: group_param {group!r} is not in "
+                        "the Param schema (the sweep's group-size axis would "
+                        "be rejected)"
+                    ),
+                    hint=self.hint,
+                    symbol=f"{label}.group_param",
+                )
+            # needs_hessian methods must expose their damping knob, else the
+            # λ fraction is silently pinned at the fallback.
+            if _flag(kwargs, "needs_hessian", False) is True:
+                damp = _flag(kwargs, "damp_param", "damp_ratio")
+                if damp is not None and damp not in schema_names:
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=call.lineno,
+                        message=(
+                            f"method {label!r}: needs_hessian=True but damp "
+                            f"param {damp!r} is not in the schema — damping "
+                            "is pinned at the fallback and cannot be swept"
+                        ),
+                        hint=self.hint,
+                        symbol=f"{label}.damp_param",
+                    )
+
+
+@rule
+class CapabilityRule:
+    id = "reg-capability"
+    summary = "MethodSpec capability flag contradicts the kernel"
+    hint = (
+        "capability flags gate engine behavior (act modes, codesign lifts, "
+        "layer batching) — flip the flag or implement the hook"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        assigns = _local_assigns(mod)
+        for call in _spec_calls(mod, ("MethodSpec",)):
+            kwargs = _call_kwargs(mod, call, assigns)
+            label = _spec_label(kwargs, call, "MethodSpec")
+            kernel = _kernel_from_make(mod, project, kwargs.get("make"))
+            if kernel is None:
+                continue
+            kmod, kfn = kernel
+            named, has_kwargs = _fn_signature(kfn, skip_leading=_KERNEL_LEADING)
+            act_aware = _flag(kwargs, "act_aware", False)
+            if act_aware is True and "act_bits" not in named and not has_kwargs:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=call.lineno,
+                    message=(
+                        f"method {label!r}: act_aware=True but kernel "
+                        f"{kfn.name}() has no act_bits parameter"
+                    ),
+                    hint=self.hint,
+                    symbol=f"{label}.act_aware",
+                )
+            if act_aware is False and "act_bits" in named:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=call.lineno,
+                    message=(
+                        f"method {label!r}: kernel {kfn.name}() accepts "
+                        "act_bits but the spec does not declare act_aware "
+                        "(weight-activation mode silently unavailable)"
+                    ),
+                    hint=self.hint,
+                    symbol=f"{label}.act_aware",
+                )
+            if _flag(kwargs, "exports_packed", False) is True:
+                # The kernel's module must actually attach meta["packed"].
+                has_packed = any(
+                    isinstance(n, ast.Dict)
+                    and any(
+                        isinstance(k, ast.Constant) and k.value == "packed"
+                        for k in n.keys
+                    )
+                    for n in ast.walk(kmod.tree)
+                )
+                if not has_packed:
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=call.lineno,
+                        message=(
+                            f"method {label!r}: exports_packed=True but "
+                            f"{kmod.dotted} never builds a meta dict with a "
+                            "'packed' PackedLayer entry"
+                        ),
+                        hint=self.hint,
+                        symbol=f"{label}.exports_packed",
+                    )
+
+
+@rule
+class ArchSchemaRule:
+    id = "reg-arch-schema"
+    summary = "HwArchSpec knobs out of sync with its area builder"
+    hint = (
+        "arch params flow into area_builder(rows, cols, **knobs) — align "
+        "the Param names with the builder signature and the area_baseline "
+        "names with its AreaComponent labels"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        assigns = _local_assigns(mod)
+        for call in _spec_calls(mod, ("HwArchSpec",)):
+            kwargs = _call_kwargs(mod, call, assigns)
+            label = _spec_label(kwargs, call, "HwArchSpec")
+            entries = _param_entries(mod, project, kwargs.get("params"), assigns)
+            builder = _resolve_callable(mod, project, kwargs.get("area_builder"))
+            if entries and kwargs.get("area_builder") is None:
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=call.lineno,
+                    message=(
+                        f"arch {label!r}: declares params but no area_builder "
+                        "— area(**knobs) would always raise"
+                    ),
+                    hint=self.hint,
+                    symbol=f"{label}.area_builder",
+                )
+            if _flag(kwargs, "kind", "systolic") == "gpu" and (
+                kwargs.get("gpu_method") is None
+            ):
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=call.lineno,
+                    message=f"arch {label!r}: kind='gpu' without a gpu_method",
+                    hint=self.hint,
+                    symbol=f"{label}.gpu_method",
+                )
+            if builder is None:
+                continue
+            bmod, bfn = builder
+            named, has_kwargs = _fn_signature(bfn)
+            knob_names = set(named) - {"rows", "cols"}
+            if entries is not None:
+                for pname, _default, line in entries:
+                    if pname not in knob_names and not has_kwargs:
+                        yield Finding(
+                            rule=self.id,
+                            path=mod.rel,
+                            line=line,
+                            message=(
+                                f"arch {label!r}: param {pname!r} is not a "
+                                f"parameter of area builder {bfn.name}()"
+                            ),
+                            hint=self.hint,
+                            symbol=f"{label}.param.{pname}",
+                        )
+                if _flag(kwargs, "uses_recon", False) is True and (
+                    "n_recon" in knob_names
+                ) and "n_recon" not in {e[0] for e in entries}:
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=call.lineno,
+                        message=(
+                            f"arch {label!r}: uses_recon=True but the "
+                            "n_recon knob is not in the Param schema"
+                        ),
+                        hint=self.hint,
+                        symbol=f"{label}.n_recon",
+                    )
+            # area_baseline names must be AreaComponent labels the builder
+            # actually emits (default baseline: ("Base PE",)).
+            baseline = _literal(kwargs.get("area_baseline"))
+            if baseline is _MISSING:
+                baseline = ("Base PE",) if "area_baseline" not in kwargs else None
+            if baseline:
+                labels = {
+                    _literal(n.args[0])
+                    for n in ast.walk(bfn)
+                    if isinstance(n, ast.Call)
+                    and bmod.resolve(n.func) is not None
+                    and bmod.resolve(n.func).rpartition(".")[2] == "AreaComponent"
+                    and n.args
+                }
+                labels.discard(_MISSING)
+                if labels:
+                    for bname in baseline:
+                        if bname not in labels:
+                            yield Finding(
+                                rule=self.id,
+                                path=mod.rel,
+                                line=call.lineno,
+                                message=(
+                                    f"arch {label!r}: area_baseline component "
+                                    f"{bname!r} is not emitted by "
+                                    f"{bfn.name}() (labels: {sorted(labels)})"
+                                ),
+                                hint=self.hint,
+                                symbol=f"{label}.area_baseline.{bname}",
+                            )
+
+
+@rule
+class WorkloadShapeRule:
+    id = "reg-workload-shape"
+    summary = "WorkloadFactory.shape_params not consumed by its build"
+    hint = (
+        "shape_params tells the pipeline which grid axes matter for job "
+        "identity — a name the build swallows via **_ silently no-ops that "
+        "axis; name it as a real parameter or drop it"
+    )
+
+    def check(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        assigns = _local_assigns(mod)
+        for call in _spec_calls(mod, ("WorkloadFactory",)):
+            kwargs = _call_kwargs(mod, call, assigns)
+            build_node = kwargs.get("build")
+            if build_node is None and len(call.args) >= 3:
+                build_node = call.args[2]
+            shape_node = kwargs.get("shape_params")
+            if shape_node is None and len(call.args) >= 4:
+                shape_node = call.args[3]
+            substrate = _literal(kwargs.get("substrate"))
+            if substrate is _MISSING and call.args:
+                substrate = _literal(call.args[0])
+            label = (
+                substrate
+                if isinstance(substrate, str)
+                else f"WorkloadFactory@L{call.lineno}"
+            )
+            shapes = _literal(shape_node)
+            if not isinstance(shapes, (tuple, list)) or not shapes:
+                continue
+            build = _resolve_callable(mod, project, build_node)
+            if build is None:
+                continue
+            _bmod, bfn = build
+            named, _has_kwargs = _fn_signature(bfn)
+            # First parameter is the family name, not a shape knob.
+            consumed = list(named)[1:] if named else []
+            for sname in shapes:
+                if sname not in consumed:
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=call.lineno,
+                        message=(
+                            f"workload {label!r}: shape param {sname!r} is "
+                            f"not a named parameter of {bfn.name}() — the "
+                            "grid axis would be silently ignored"
+                        ),
+                        hint=self.hint,
+                        symbol=f"{label}.shape.{sname}",
+                    )

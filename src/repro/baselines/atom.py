@@ -25,13 +25,15 @@ def quantize_atom(
     act_bits: int | None = None,
     n_outlier_channels: int = 16,
     group_size: int = 128,
+    damp_ratio: float = 0.01,
     hessian: np.ndarray | HessianBundle | None = None,
 ) -> BaselineResult:
     """Atom-style quantization; keeps high-activation channels at 8 bits.
 
     A precomputed ``hessian`` (raw ``H`` or a store-provided
     :class:`~repro.methods.resources.HessianBundle`) skips the ``X^T X``
-    build; the channel ordering still reads the raw calibration magnitudes.
+    build (``damp_ratio`` then rides the bundle); the channel ordering
+    still reads the raw calibration magnitudes.
     """
     w = np.asarray(weights, dtype=np.float64)
     d_in = w.shape[1]
@@ -41,7 +43,9 @@ def quantize_atom(
     else:
         x = np.asarray(calib_inputs, dtype=np.float64)
         bundle = (
-            HessianBundle.wrap(hessian) if hessian is not None else HessianBundle(x)
+            HessianBundle.wrap(hessian)
+            if hessian is not None
+            else HessianBundle(x, damp_ratio)
         )
         hessian_mat = bundle.h
         order = np.argsort(-np.max(np.abs(x), axis=0), kind="stable")

@@ -38,7 +38,7 @@ class BaselineResult:
         den = max(float(np.linalg.norm(calib @ reference.T)), 1e-12)
         return float(num / den)
 
-    def split_rows(self, sizes: list[int]) -> list["BaselineResult"]:
+    def split_rows(self, sizes: list[int]) -> list[BaselineResult]:
         """Split a row-stacked result into per-layer results.
 
         Used by the engine's shape-batched dispatch (methods whose spec

@@ -51,5 +51,5 @@ class AcceleratorConfig:
         """Pipeline depth of one ReCoN unit: log2(cols) + 1 stages."""
         return self.cols.bit_length()  # log2(cols) + 1 for power-of-two cols
 
-    def with_(self, **kwargs) -> "AcceleratorConfig":
+    def with_(self, **kwargs) -> AcceleratorConfig:
         return replace(self, **kwargs)

@@ -65,7 +65,7 @@ class LayerSpec:
         return min(tile_rows, int(np.ceil(outlier_ubs * self.micro_block / tile_cols)))
 
     @classmethod
-    def from_packed(cls, name: str, packed: PackedLayer, count: int = 1) -> "LayerSpec":
+    def from_packed(cls, name: str, packed: PackedLayer, count: int = 1) -> LayerSpec:
         """Build from a quantized :class:`PackedLayer`."""
         return cls(
             name=name,
@@ -89,7 +89,7 @@ class LayerSpec:
         micro_block: int = 8,
         count: int = 1,
         ebw: float | None = None,
-    ) -> "LayerSpec":
+    ) -> LayerSpec:
         """Spec from geometry + an iid per-weight outlier rate."""
         ub_frac = 1.0 - (1.0 - outlier_fraction) ** micro_block
         if ebw is None:

@@ -109,8 +109,10 @@ class ReCoN:
                 target: Dict[int, int] = {
                     lo: up_by_id[ports[lo].pair_id] for lo in lowers
                 }
-            except KeyError:
-                raise ValueError("lower half without a matching upper pair_id")
+            except KeyError as exc:
+                raise ValueError(
+                    "lower half without a matching upper pair_id"
+                ) from exc
         else:
             target = dict(zip(lowers, uppers))
 

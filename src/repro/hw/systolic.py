@@ -60,7 +60,7 @@ class GemmStats:
             return 0.0
         return 100.0 * self.recon_conflicts / self.recon_accesses
 
-    def merged_with(self, other: "GemmStats", scale: float = 1.0) -> "GemmStats":
+    def merged_with(self, other: GemmStats, scale: float = 1.0) -> GemmStats:
         out = GemmStats()
         for f in out.__dataclass_fields__:
             setattr(out, f, getattr(self, f) + scale * getattr(other, f))

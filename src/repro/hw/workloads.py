@@ -227,7 +227,7 @@ class CnnWorkload:
     micro_block: int = 8
 
     @classmethod
-    def from_profile(cls, family: str, batch: int = 1) -> "CnnWorkload":
+    def from_profile(cls, family: str, batch: int = 1) -> CnnWorkload:
         from ..models.cnn import CNN_PROFILES
 
         p = CNN_PROFILES[family]
@@ -275,7 +275,7 @@ class SsmWorkload:
     micro_block: int = 8
 
     @classmethod
-    def from_profile(cls, family: str, batch: int = 1) -> "SsmWorkload":
+    def from_profile(cls, family: str, batch: int = 1) -> SsmWorkload:
         from ..models.ssm import SSM_PROFILES
 
         p = SSM_PROFILES[family]
@@ -404,7 +404,7 @@ class MeasuredWorkload:
         base: HwWorkload,
         layers: Dict[str, Dict[str, float]],
         use_measured_ebw: bool = True,
-    ) -> "MeasuredWorkload":
+    ) -> MeasuredWorkload:
         """Aggregate measured per-layer stats (the quant stage's ``layers``
         metrics: ``{name: {outlier_ub_fraction, micro_block, ...}}``) into
         per-role means and bind them to ``base``."""

@@ -217,6 +217,7 @@ def builtin_method_specs() -> tuple:
             params=(
                 _group(),
                 Param("n_outlier_channels", 16, (int,), "channels kept at 8 bits"),
+                Param("damp_ratio", 0.01, (float, int), "Hessian damping λ fraction"),
             ),
             needs_hessian=True,
             act_aware=True,

@@ -109,7 +109,7 @@ class HessianBundle:
         self.factorizations = 0
 
     @classmethod
-    def wrap(cls, hessian: Union[np.ndarray, "HessianBundle"]) -> "HessianBundle":
+    def wrap(cls, hessian: Union[np.ndarray, HessianBundle]) -> HessianBundle:
         """Adapt a raw ``H`` matrix (the legacy ``hessian=`` contract) into a
         bundle; bundles pass through untouched."""
         if isinstance(hessian, HessianBundle):
@@ -119,7 +119,7 @@ class HessianBundle:
     @classmethod
     def from_factors(
         cls, factors: dict, damp_ratio: float, persist=None
-    ) -> "HessianBundle":
+    ) -> HessianBundle:
         """A bundle over disk-tier factors (``h`` required, ``hinv_diag`` /
         ``u_factor`` optional) — never holds the calibration activations."""
         made = cls(h=factors["h"], damp_ratio=damp_ratio, persist=persist)
@@ -233,13 +233,24 @@ class HessianStore:
     def __init__(self, max_entries: int = 64, disk_root: Optional[os.PathLike] = None):
         self.max_entries = int(max_entries)
         self.disk_root = Path(disk_root) if disk_root is not None else None
-        self._data: "OrderedDict[str, HessianBundle]" = OrderedDict()
+        self._data: OrderedDict[str, HessianBundle] = OrderedDict()
         # Reentrant: a corrupt-blob load inside `bundle` re-classifies the
         # hit/miss counters under this same lock.
         self._lock = threading.RLock()
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
+
+    def set_disk_root(self, target: Optional[os.PathLike]) -> None:
+        """Attach or re-target the disk tier (thread-safe).
+
+        ``default_hessian_store`` re-reads ``REPRO_HESSIAN_DIR`` on every
+        call, possibly from concurrent worker threads; the retarget must not
+        race a ``bundle()`` lookup resolving blob paths.
+        """
+        target = Path(target) if target is not None else None
+        with self._lock:
+            self.disk_root = target
 
     @staticmethod
     def fingerprint(acts: np.ndarray, damp_ratio: float) -> str:
@@ -309,7 +320,7 @@ class HessianStore:
         if path is None:
             return None
 
-        def write(bundle: "HessianBundle") -> None:
+        def write(bundle: HessianBundle) -> None:
             factors = bundle.persisted_factors()
             if "h" not in factors:
                 return
@@ -387,7 +398,8 @@ class HessianStore:
 
         root = Path(disk_root)
         removed = 0
-        now = time.time()
+        # Maintenance-only age policy; never runs inside execute_job.
+        now = time.time()  # repro-lint: ignore[det-wallclock]
         for blob in [*root.glob("??/*.npz"), *root.glob("??/*.npy")]:
             try:
                 if older_than is not None and now - blob.stat().st_mtime < older_than:
@@ -441,5 +453,5 @@ def default_hessian_store() -> HessianStore:
     env = os.environ.get(HESSIAN_DIR_ENV)
     target = Path(env) if env else None
     if _DEFAULT_STORE.disk_root != target:
-        _DEFAULT_STORE.disk_root = target
+        _DEFAULT_STORE.set_disk_root(target)
     return _DEFAULT_STORE

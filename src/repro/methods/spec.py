@@ -126,7 +126,7 @@ class LayerContext:
     params: Dict[str, Any] = field(default_factory=dict)
     hessian_store: Optional[HessianStore] = None
     substrate: Optional[str] = None
-    spec: Optional["MethodSpec"] = None
+    spec: Optional[MethodSpec] = None
 
 
 @dataclass

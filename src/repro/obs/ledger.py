@@ -135,7 +135,7 @@ class RunLedger:
         line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
         fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            os.write(fd, line.encode("utf-8"))
+            os.write(fd, line.encode())
         finally:
             os.close(fd)
         return record["run_id"]
@@ -144,7 +144,7 @@ class RunLedger:
     def records(self) -> Iterator[Dict[str, Any]]:
         """Every readable record, oldest first; corrupt lines are skipped."""
         try:
-            f = open(self.path, "r", encoding="utf-8")
+            f = open(self.path, encoding="utf-8")
         except (FileNotFoundError, OSError):
             return
         with f:
@@ -196,7 +196,7 @@ class RunLedger:
         if now is None:
             now = time.time()
         try:
-            with open(self.path, "r", encoding="utf-8") as f:
+            with open(self.path, encoding="utf-8") as f:
                 lines = [line for line in f.read().split("\n") if line.strip()]
         except (FileNotFoundError, OSError):
             return 0

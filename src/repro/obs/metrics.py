@@ -9,8 +9,16 @@ subsystems now *also* publish into, under stable dotted names::
     hessian.store.hits / disk_hits / misses / h_builds /
                   inversions / factorizations
     result_cache.hits / misses / puts
-    engine.models / groups / layers / calibration_passes
-    pipeline.jobs_computed / quant_stage_hits / hw_stage_hits
+    engine.models / groups / layers / calibration_passes /
+           layer_batches / batched_layers
+    pipeline.jobs_computed / quant_stage_hits / hw_stage_hits /
+             inflight_dedup
+    quant.kernel.vector_calls / reference_calls
+    serve.auth.rejected
+
+The full key set is machine-readable in :mod:`repro.obs.naming`
+(``METRIC_NAMES``) — ``repro-lint``'s ``obs-metric-name`` rule rejects any
+``METRICS`` key not documented there, so this list cannot silently drift.
 
 The per-object attributes survive as views of each object's own share (the
 existing assertion-style tests keep working); the registry answers the

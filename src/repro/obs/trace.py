@@ -72,13 +72,13 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
     def __exit__(self, *exc) -> bool:
         return False
 
-    def set(self, **attrs) -> "_NullSpan":
+    def set(self, **attrs) -> _NullSpan:
         return self
 
     @property
@@ -114,22 +114,24 @@ class Span:
         self,
         name: str,
         attrs: Optional[Dict[str, Any]] = None,
-        tracer: Optional["Tracer"] = None,
-        parent: Optional["Span"] = None,
+        tracer: Optional[Tracer] = None,
+        parent: Optional[Span] = None,
         detached: bool = False,
     ):
         self.name = name
         self.attrs: Dict[str, Any] = dict(attrs or {})
         self.start: Optional[float] = None
         self.end: Optional[float] = None
-        self.children: List[Union["Span", Dict[str, Any]]] = []
+        self.children: List[Union[Span, Dict[str, Any]]] = []
         self.tracer = tracer
         self._parent = parent
         self._detached = detached
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------ lifecycle
-    def __enter__(self) -> "Span":
+    # Lifecycle fields (start/end/_parent) are written only by the owning
+    # thread; the lock exists solely for cross-thread `children` appends.
+    def __enter__(self) -> Span:  # repro-lint: ignore[lock-unguarded-write]
         self.start = time.perf_counter()
         if self.tracer is not None:
             if self._parent is None and not self._detached:
@@ -137,7 +139,7 @@ class Span:
             self.tracer._push(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> bool:  # repro-lint: ignore[lock-unguarded-write]
         self.end = time.perf_counter()
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
@@ -149,12 +151,12 @@ class Span:
                 self.tracer._add_root(self)
         return False
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs) -> Span:
         """Attach (or update) attributes; chainable."""
         self.attrs.update(attrs)
         return self
 
-    def add_child(self, child: Union["Span", Dict[str, Any]]) -> None:
+    def add_child(self, child: Union[Span, Dict[str, Any]]) -> None:
         """Append a finished child span (or an already-serialized tree)."""
         with self._lock:
             self.children.append(child)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
@@ -42,6 +43,9 @@ class ResultCache:
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # One instance serves every worker thread of a sweep; the counters
+        # are the only mutable state (disk writes are atomic on their own).
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -56,7 +60,7 @@ class ResultCache:
     def _read(self, path: Path) -> Optional[Dict[str, Any]]:
         """One record off disk, uncounted; ``None`` on miss/corruption."""
         try:
-            with open(path, "r", encoding="utf-8") as f:
+            with open(path, encoding="utf-8") as f:
                 record = json.load(f)
         except (FileNotFoundError, json.JSONDecodeError, OSError):
             return None
@@ -68,10 +72,12 @@ class ResultCache:
         """The stored record, or ``None`` on miss/corruption."""
         record = self._read(self.path_for(job_hash))
         if record is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             METRICS.incr("result_cache.misses")
         else:
-            self.hits += 1
+            with self._lock:
+                self.hits += 1
             METRICS.incr("result_cache.hits")
         return record
 
@@ -88,7 +94,8 @@ class ResultCache:
     # ----------------------------------------------------------------- writes
     def put(self, job_hash: str, record: Dict[str, Any]) -> Path:
         """Atomically persist ``record`` under ``job_hash``."""
-        self.puts += 1
+        with self._lock:
+            self.puts += 1
         METRICS.incr("result_cache.puts")
         path = self.path_for(job_hash)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -17,6 +17,7 @@ tqdm/rich): the pipeline must run in bare CI containers.
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, TextIO, Tuple
@@ -98,6 +99,9 @@ class ProgressTracker:
     _started: float = field(default_factory=time.perf_counter)
 
     def __post_init__(self) -> None:
+        # Thread/process executors call update() from worker callbacks; the
+        # counters and the emitted snapshot must move together.
+        self._lock = threading.Lock()
         self._all_sinks: Tuple[EventSink, ...] = tuple(self.sinks)
         if self.stream is not None:
             self._all_sinks = (
@@ -117,36 +121,40 @@ class ProgressTracker:
         another submission's in-flight execution (the sweep service's
         cross-client dedup) — counted apart from both compute and cache.
         """
-        self.done += 1
-        if attached:
-            self.attached += 1
-            self.lookup_seconds += seconds
-        elif from_cache:
-            self.cache_hits += 1
-            self.lookup_seconds += seconds
-        else:
-            self.computed += 1
-            self.compute_seconds += seconds
-        if not ok:
-            self.failures += 1
-        self._emit({
-            "event": "job",
-            "label": label,
-            "job_hash": job_hash,
-            "ok": ok,
-            "from_cache": bool(from_cache and not attached),
-            "attached": attached,
-            "error_type": error_type,
-            "seconds": round(seconds, 6),
-            "done": self.done,
-            "total": self.total,
-            "computed": self.computed,
-            "cache_hits": self.cache_hits,
-            "attached_jobs": self.attached,
-            "failures": self.failures,
-            "elapsed_s": round(self.elapsed, 3),
-            "jobs_per_s": round(self.throughput, 3),
-        })
+        with self._lock:
+            self.done += 1
+            if attached:
+                self.attached += 1
+                self.lookup_seconds += seconds
+            elif from_cache:
+                self.cache_hits += 1
+                self.lookup_seconds += seconds
+            else:
+                self.computed += 1
+                self.compute_seconds += seconds
+            if not ok:
+                self.failures += 1
+            event = {
+                "event": "job",
+                "label": label,
+                "job_hash": job_hash,
+                "ok": ok,
+                "from_cache": bool(from_cache and not attached),
+                "attached": attached,
+                "error_type": error_type,
+                "seconds": round(seconds, 6),
+                "done": self.done,
+                "total": self.total,
+                "computed": self.computed,
+                "cache_hits": self.cache_hits,
+                "attached_jobs": self.attached,
+                "failures": self.failures,
+                "elapsed_s": round(self.elapsed, 3),
+                "jobs_per_s": round(self.throughput, 3),
+            }
+        # Sinks run outside the lock: a slow ticker or SSE subscriber must
+        # not serialize the workers (events are already consistent snapshots).
+        self._emit(event)
 
     def _emit(self, event: Dict[str, Any]) -> None:
         for sink in self._all_sinks:

@@ -107,7 +107,7 @@ def hw_stage_hash(spec: ExperimentSpec, layers: Dict[str, Any], version: str = "
         }
     )
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def _lift_layers(quant_metrics: Dict[str, Any], job: Job) -> Dict[str, Any]:

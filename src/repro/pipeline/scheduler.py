@@ -77,7 +77,7 @@ def sweep_digest(jobs: Sequence[Job]) -> str:
     """Order-independent content digest of a job set (the ledger's
     ``spec_digest`` — two submissions of the same grid share it)."""
     return hashlib.sha256(
-        "\n".join(sorted(j.job_hash for j in jobs)).encode("utf-8")
+        "\n".join(sorted(j.job_hash for j in jobs)).encode()
     ).hexdigest()
 
 
@@ -185,7 +185,7 @@ class SweepHandle:
         self._job_states: Dict[str, str] = {j.job_hash: "queued" for j in jobs}
         self._progress: Dict[str, Any] = {}
         self._events: List[Dict[str, Any]] = []
-        self._subscribers: List["queue.SimpleQueue[Dict[str, Any]]"] = []
+        self._subscribers: List[queue.SimpleQueue[Dict[str, Any]]] = []
         self._seq = 0
 
     # ------------------------------------------------------------------ state
@@ -275,16 +275,16 @@ class SweepHandle:
         with self._lock:
             return list(self._events)
 
-    def subscribe(self) -> Tuple[List[Dict[str, Any]], "queue.SimpleQueue"]:
+    def subscribe(self) -> Tuple[List[Dict[str, Any]], queue.SimpleQueue]:
         """Atomically snapshot past events and register a live queue — no
         event is lost or duplicated across the boundary."""
-        q: "queue.SimpleQueue[Dict[str, Any]]" = queue.SimpleQueue()
+        q: queue.SimpleQueue[Dict[str, Any]] = queue.SimpleQueue()
         with self._lock:
             past = list(self._events)
             self._subscribers.append(q)
         return past, q
 
-    def unsubscribe(self, q: "queue.SimpleQueue") -> None:
+    def unsubscribe(self, q: queue.SimpleQueue) -> None:
         with self._lock:
             if q in self._subscribers:
                 self._subscribers.remove(q)
@@ -328,8 +328,8 @@ class SweepHandle:
     def _set_state(self, state: str) -> None:
         with self._lock:
             self._state = state
-        if state == "running":
-            self.started_at = time.time()
+            if state == "running":
+                self.started_at = time.time()
         self._emit({"event": "state", "state": state})
 
     def _finish(
@@ -346,7 +346,7 @@ class SweepHandle:
                 for h, s in self._job_states.items():
                     if s == "queued":
                         self._job_states[h] = "cancelled"
-        self.finished_at = time.time()
+            self.finished_at = time.time()
         self._emit({"event": "state", "state": state, "error": error})
         self.finished.set()
 
@@ -383,7 +383,7 @@ class SweepScheduler:
         self.max_concurrent = max_concurrent
         self._inflight = _InflightBook()
         self._handles: Dict[str, SweepHandle] = {}
-        self._queue: "queue.Queue[Optional[SweepHandle]]" = queue.Queue()
+        self._queue: queue.Queue[Optional[SweepHandle]] = queue.Queue()
         self._threads: List[threading.Thread] = []
         self._lock = threading.Lock()
         self._counter = 0
@@ -510,8 +510,8 @@ class SweepScheduler:
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting submissions, cancel queued ones, stop workers."""
-        self._closed = True
         with self._lock:
+            self._closed = True
             threads = list(self._threads)
         for _ in threads:
             self._queue.put(None)

@@ -110,7 +110,7 @@ def _method_spec(method: str):
     return get_method(method)
 
 
-def _plugin_versions(spec: "ExperimentSpec") -> Dict[str, str]:
+def _plugin_versions(spec: ExperimentSpec) -> Dict[str, str]:
     """Spec-declared versions hashed into the job identity.
 
     Builtins leave their ``version`` unset and ride ``repro.__version__``;
@@ -285,7 +285,7 @@ class ExperimentSpec:
                     f"codesign-capable methods: {', '.join(capable) or 'none'}"
                 )
 
-    def quant_stage(self) -> "ExperimentSpec":
+    def quant_stage(self) -> ExperimentSpec:
         """The quantize-and-evaluate stage of a codesign job, as the
         ordinary accuracy spec it is — same family/method/setting, hardware
         fields stripped. Its job hash is the content address under which the
@@ -334,7 +334,7 @@ class ExperimentSpec:
             key["kind"] = kind
         return _canonical(key)
 
-    def with_(self, **kwargs) -> "ExperimentSpec":
+    def with_(self, **kwargs) -> ExperimentSpec:
         return replace(self, **kwargs)
 
 
@@ -361,9 +361,9 @@ class Job:
         seed = None if self.spec.job_kind == "hw" else self.seed
         payload = {"spec": self.spec.key(), "version": version, "seed": seed}
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return hashlib.sha256(blob.encode()).hexdigest()
 
-    def quant_stage(self) -> "Job":
+    def quant_stage(self) -> Job:
         """The quant stage of a codesign job, as a dispatchable accuracy
         job — same seed and version, hash equal to the equivalent standalone
         accuracy job's (the point of stage sharing)."""
@@ -910,7 +910,7 @@ class SweepSpec:
     @staticmethod
     def from_specs(
         specs: Iterable[ExperimentSpec], seed: int = 0, **kwargs
-    ) -> "SweepSpec":
+    ) -> SweepSpec:
         """A sweep that is just an explicit list of experiments (no grid)."""
         return SweepSpec(
             families=(), methods=(), extra_specs=tuple(specs), seed=seed, **kwargs

@@ -51,7 +51,7 @@ SUBSTRATE_GROUP = "repro.substrates"
 HW_GROUP = "repro.hw"
 ENV_VAR = "REPRO_PLUGINS"
 
-_loaded: Optional[List["PluginRecord"]] = None
+_loaded: Optional[List[PluginRecord]] = None
 _loaded_env: Optional[str] = None
 
 

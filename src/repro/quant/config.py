@@ -88,6 +88,6 @@ class MicroScopiQConfig:
         """Outlier cap per micro-block: ``B_μ / 2`` (Algo. 1 Step 2.0)."""
         return self.micro_block // 2
 
-    def with_(self, **kwargs) -> "MicroScopiQConfig":
+    def with_(self, **kwargs) -> MicroScopiQConfig:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)

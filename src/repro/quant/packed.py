@@ -91,7 +91,7 @@ class PackedLayer:
         """Bool ``[d_out, n_ubs]`` map: which (row, μB) pairs need ReCoN."""
         return self.ub_outlier_count > 0
 
-    def split_rows(self, sizes: List[int]) -> List["PackedLayer"]:
+    def split_rows(self, sizes: List[int]) -> List[PackedLayer]:
         """Split into consecutive row bands of the given sizes.
 
         The engine's shape-batched dispatch stacks several layers' weight

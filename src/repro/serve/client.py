@@ -10,6 +10,7 @@ status and the server's decoded error payload.
 from __future__ import annotations
 
 import json
+import os
 import time
 import urllib.error
 import urllib.request
@@ -21,6 +22,8 @@ from ..pipeline.spec import SweepSpec
 __all__ = ["ServeClient", "ServeError", "sweep_to_payload"]
 
 DEFAULT_SERVER = "http://127.0.0.1:8642"
+
+_TOKEN_ENV = "REPRO_SERVE_TOKEN"
 
 
 class ServeError(RuntimeError):
@@ -46,18 +49,33 @@ def sweep_to_payload(sweep: SweepSpec) -> Dict[str, Any]:
 class ServeClient:
     """One daemon's API surface, method per endpoint."""
 
-    def __init__(self, base_url: str = DEFAULT_SERVER, timeout: float = 60.0):
+    def __init__(
+        self,
+        base_url: str = DEFAULT_SERVER,
+        timeout: float = 60.0,
+        token: Optional[str] = None,
+    ):
+        """``token`` rides every request as ``Authorization: Bearer <token>``
+        (the server only checks it on POSTs); defaults to the same
+        ``REPRO_SERVE_TOKEN`` environment variable the daemon reads, so a
+        client and server sharing an environment agree automatically."""
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = (token if token is not None else os.environ.get(_TOKEN_ENV)) or None
 
     # ------------------------------------------------------------- plumbing
+    def _auth_headers(self) -> Dict[str, str]:
+        if self.token is None:
+            return {}
+        return {"Authorization": f"Bearer {self.token}"}
+
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Any:
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", **self._auth_headers()}
         if payload is not None:
-            data = json.dumps(payload).encode("utf-8")
+            data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
         req = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
@@ -68,17 +86,19 @@ class ServeClient:
         except urllib.error.HTTPError as exc:
             raw = exc.read()
             try:
-                decoded = json.loads(raw.decode("utf-8"))
+                decoded = json.loads(raw.decode())
             except (UnicodeDecodeError, json.JSONDecodeError):
                 decoded = {"error": raw.decode("utf-8", "replace")[:500]}
             raise ServeError(
                 exc.code, str(decoded.get("error", exc.reason)), decoded
             ) from None
         except urllib.error.URLError as exc:
-            raise ServeError(0, f"cannot reach {self.base_url}: {exc.reason}")
+            raise ServeError(
+                0, f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
         if not body:
             return {}
-        return json.loads(body.decode("utf-8"))
+        return json.loads(body.decode())
 
     # ------------------------------------------------------------ endpoints
     def health(self) -> Dict[str, Any]:
@@ -159,13 +179,13 @@ class ServeClient:
         """
         req = urllib.request.Request(
             self.base_url + f"/api/sweeps/{sweep_id}/events",
-            headers={"Accept": "text/event-stream"},
+            headers={"Accept": "text/event-stream", **self._auth_headers()},
         )
         resp = urllib.request.urlopen(req, timeout=self.timeout)
         try:
             data_lines: List[str] = []
             for raw in resp:
-                line = raw.decode("utf-8").rstrip("\r\n")
+                line = raw.decode().rstrip("\r\n")
                 if line.startswith(":"):
                     continue  # keepalive comment
                 if line.startswith("data:"):
@@ -192,9 +212,11 @@ class ServeClient:
         return self._request("GET", "/api/metrics")
 
     def metrics_text(self) -> str:
-        req = urllib.request.Request(self.base_url + "/metrics")
+        req = urllib.request.Request(
+            self.base_url + "/metrics", headers=self._auth_headers()
+        )
         with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-            return resp.read().decode("utf-8")
+            return resp.read().decode()
 
     def shutdown(self) -> Dict[str, Any]:
         return self._request("POST", "/api/shutdown")

@@ -29,14 +29,20 @@ Endpoints (all JSON unless noted):
 ``GET /``, ``/view/sweeps/<id>``  server-rendered HTML views (text/html)
 ==============================  ==============================================
 
-No authentication, by design: the daemon binds to 127.0.0.1 unless told
-otherwise, and anyone who can reach it can submit compute and read results.
+Authentication is opt-in: set ``REPRO_SERVE_TOKEN`` and every *mutating*
+endpoint (all POSTs — submit, cancel, shutdown) requires a matching
+``Authorization: Bearer <token>`` header; reads stay open so dashboards and
+``/metrics`` scrapers keep working. Without a token the daemon refuses to
+bind beyond loopback — anyone who can reach an unauthenticated port can
+submit compute.
 """
 
 from __future__ import annotations
 
 import argparse
+import hmac
 import json
+import os
 import queue
 import threading
 import time
@@ -56,12 +62,18 @@ from . import views
 __all__ = [
     "DEFAULT_PORT",
     "SweepServer",
+    "TOKEN_ENV",
     "build_sweep_spec",
     "main",
     "start_in_thread",
 ]
 
 DEFAULT_PORT = 8642
+
+#: Environment variable holding the shared bearer token for mutating endpoints.
+TOKEN_ENV = "REPRO_SERVE_TOKEN"
+
+_LOOPBACK_HOSTS = ("127.0.0.1", "localhost", "::1")
 
 _SWEEP_FIELDS = set(SweepSpec.__dataclass_fields__)
 _SPEC_FIELDS = set(ExperimentSpec.__dataclass_fields__)
@@ -150,10 +162,12 @@ class SweepServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         scheduler: SweepScheduler,
         quiet: bool = True,
+        token: Optional[str] = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.scheduler = scheduler
         self.quiet = quiet
+        self.token = token or None  # empty string means "no auth"
         self.started_at = time.time()
 
     @property
@@ -184,11 +198,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _json(self, code: int, payload: Any) -> None:
-        body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        body = json.dumps(payload, indent=2, default=str).encode()
         self._send(code, body, "application/json")
 
     def _html(self, body: str, code: int = 200) -> None:
-        self._send(code, body.encode("utf-8"), "text/html; charset=utf-8")
+        self._send(code, body.encode(), "text/html; charset=utf-8")
 
     def _error(self, code: int, message: str) -> None:
         self._json(code, {"error": message})
@@ -199,7 +213,7 @@ class _Handler(BaseHTTPRequestHandler):
             return {}
         raw = self.rfile.read(length)
         try:
-            return json.loads(raw.decode("utf-8"))
+            return json.loads(raw.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ValueError(f"request body is not valid JSON: {exc}") from None
 
@@ -234,7 +248,7 @@ class _Handler(BaseHTTPRequestHandler):
                     f"{name} {value}\n" for name, value in sorted(snapshot.items())
                 )
                 return self._send(
-                    200, text.encode("utf-8"), "text/plain; charset=utf-8"
+                    200, text.encode(), "text/plain; charset=utf-8"
                 )
             if parts[0] == "view" and len(parts) == 3 and parts[1] == "sweeps":
                 handle = self._handle()
@@ -332,7 +346,7 @@ class _Handler(BaseHTTPRequestHandler):
                 data = json.dumps(event, default=str)
                 self.wfile.write(
                     f"event: {event.get('event', 'message')}\n"
-                    f"data: {data}\n\n".encode("utf-8")
+                    f"data: {data}\n\n".encode()
                 )
                 self.wfile.flush()
                 return (
@@ -357,12 +371,37 @@ class _Handler(BaseHTTPRequestHandler):
             handle.unsubscribe(live)
             self.close_connection = True
 
+    def _authorized(self) -> bool:
+        """Bearer-token gate for mutating endpoints.
+
+        No configured token → everything is allowed (loopback-only mode).
+        With a token, the ``Authorization: Bearer <token>`` header must match
+        (constant-time compare); failures get a 401 and are counted so an
+        exposed daemon's probe traffic shows up on ``/metrics``.
+        """
+        expected = self.server.token
+        if expected is None:
+            return True
+        supplied = self.headers.get("Authorization") or ""
+        scheme, _, credential = supplied.partition(" ")
+        if scheme.lower() == "bearer" and hmac.compare_digest(
+            credential.strip().encode(), expected.encode()
+        ):
+            return True
+        METRICS.incr("serve.auth.rejected")
+        self._error(401, "missing or invalid bearer token "
+                         f"(set the {TOKEN_ENV} token in an "
+                         "'Authorization: Bearer <token>' header)")
+        return False
+
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         try:
             url = urlparse(self.path)
             self._query = parse_qs(url.query)
             parts = [p for p in url.path.split("/") if p]
             self._path_parts = parts
+            if not self._authorized():
+                return None
             if parts == ["api", "sweeps"]:
                 return self._submit()
             if (
@@ -446,18 +485,30 @@ def start_in_thread(
     executor: str = "auto",
     workers: Optional[int] = None,
     max_concurrent: int = 2,
+    token: Optional[str] = None,
 ) -> SweepServer:
     """A running service on a background thread (``port=0`` = OS-assigned;
     read the bound address off ``server.url``). Used by tests and
     ``examples/serve_client.py``; call ``server.shutdown()`` +
-    ``server.scheduler.close()`` when done."""
+    ``server.scheduler.close()`` when done.
+
+    ``token`` defaults to ``REPRO_SERVE_TOKEN``; a non-loopback ``host``
+    without a token is refused outright rather than warned about."""
+    if token is None:
+        token = os.environ.get(TOKEN_ENV) or None
+    if host not in _LOOPBACK_HOSTS and not token:
+        raise ValueError(
+            f"refusing to bind {host!r} without authentication: set "
+            f"{TOKEN_ENV} (or pass token=) to expose the service beyond "
+            "loopback"
+        )
     scheduler = SweepScheduler(
         cache_dir=cache_dir,
         executor=executor,
         workers=workers,
         max_concurrent=max_concurrent,
     )
-    server = SweepServer((host, port), scheduler)
+    server = SweepServer((host, port), scheduler, token=token)
     thread = threading.Thread(
         target=server.serve_forever, name="repro-serve", daemon=True
     )
@@ -474,9 +525,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "merged results. Stdlib-only.",
     )
     parser.add_argument("--host", default="127.0.0.1",
-                        help="bind address (default 127.0.0.1; the service "
-                             "has NO authentication — see the README before "
-                             "binding wider)")
+                        help="bind address (default 127.0.0.1; binding wider "
+                             f"requires a {TOKEN_ENV} bearer token — see the "
+                             "README)")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT)
     parser.add_argument("--cache-dir", default=".repro-cache",
                         help="content-addressed result store shared with the "
@@ -497,13 +548,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     load_plugins()  # plugin methods/substrates/archs are valid axis values
     if args.trace:
-        import os
-
         from ..obs.trace import TRACE_ENV, enable_tracing
 
         enable_tracing()
         os.environ[TRACE_ENV] = "1"
 
+    token = os.environ.get(TOKEN_ENV) or None
+    if args.host not in _LOOPBACK_HOSTS and not token:
+        parser.error(
+            f"refusing to bind {args.host!r} without authentication: set "
+            f"{TOKEN_ENV} to expose the service beyond loopback"
+        )
     cache_dir = None if args.cache_dir.lower() == "none" else args.cache_dir
     scheduler = SweepScheduler(
         cache_dir=cache_dir,
@@ -511,13 +566,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         max_concurrent=args.max_sweeps,
     )
-    server = SweepServer((args.host, args.port), scheduler, quiet=not args.verbose)
+    server = SweepServer(
+        (args.host, args.port), scheduler, quiet=not args.verbose, token=token
+    )
     print(f"repro-serve {__version__} listening on {server.url}")
     print(f"  cache: {cache_dir or '(disabled — results are not persisted)'}")
     print(f"  executor: {args.executor} · concurrent sweeps: {args.max_sweeps}")
-    if args.host not in ("127.0.0.1", "localhost", "::1"):
-        print("  WARNING: bound beyond localhost with no authentication — "
-              "anyone who can reach this port can submit compute")
+    print(f"  auth: {'bearer token (POSTs)' if token else 'none (loopback only)'}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

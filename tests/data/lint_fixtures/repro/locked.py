@@ -1,0 +1,21 @@
+"""Lint fixture: a lock-owning class with one guarded and one unguarded write."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+        self.last = None
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def touch(self, value):
+        self.last = value
+
+    def snapshot(self):
+        with self._lock:
+            return dict(total=self.total, last=self.last)

@@ -1,0 +1,28 @@
+"""Lint fixture: metric/span names checked against the documented vocabulary."""
+
+from repro.obs.metrics import METRICS
+from repro.obs.trace import trace
+
+
+def record_typo(n):
+    METRICS.incr("pipeline.jobs_computd")
+    return n
+
+
+def record_documented(n):
+    METRICS.incr("pipeline.jobs_computed")
+    return n
+
+
+def span_typo(n):
+    with trace("jobb"):
+        return n
+
+
+def span_documented(n):
+    with trace("job"):
+        return n
+
+
+def dynamic_key(kind):
+    METRICS.incr(f"pipeline.{kind}")

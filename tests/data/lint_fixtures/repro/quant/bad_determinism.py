@@ -1,0 +1,27 @@
+"""Lint fixture: every determinism rule firing once in a kernel-scope module.
+
+Never imported — parsed only by ``tests/test_analysis.py``. The ``repro/``
+directory component is what puts it in the checker's kernel scope.
+"""
+
+import os
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def jitter(weights):
+    noise = np.random.rand(*weights.shape)
+    return weights + noise, os.urandom(8)
+
+
+def order(names):
+    return [n for n in {str(x) for x in names}]
+
+
+def identity_key(obj):
+    return id(obj)

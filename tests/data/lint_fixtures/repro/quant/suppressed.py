@@ -1,0 +1,8 @@
+"""Lint fixture: a justified inline suppression silences the finding."""
+
+import time
+
+
+def maintenance_stamp():
+    # Maintenance-only age policy; never runs inside execute_job.
+    return time.time()  # repro-lint: ignore[det-wallclock]

