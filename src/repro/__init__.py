@@ -30,7 +30,7 @@ Subpackages:
     plugins      — entry-point discovery of third-party methods/substrates
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from . import (
     accelerator,

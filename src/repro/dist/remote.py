@@ -1,0 +1,92 @@
+"""Submitter-side remote dispatch: tasks out to the coordinator, outcomes back.
+
+This is the body of :class:`~repro.pipeline.executor.RemoteExecutor`: encode
+every task, submit the batch (the coordinator dedups against its fleet-wide
+in-flight book and answers cached jobs immediately), then poll ``collect``
+and yield :class:`JobOutcome`\\ s in completion order — exactly the iterator
+contract the scheduler already consumes from the local pools.
+
+The timeout is *progress-based*, not absolute: the clock resets every time
+a new outcome lands, so a long sweep is fine as long as the fleet keeps
+finishing tasks, while a dead fleet (no workers pulling, or all of them
+gone) surfaces as a :class:`TimeoutError` instead of a silent hang.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, Iterator, Sequence
+
+from ..obs.metrics import METRICS
+from ..pipeline.executor import JobOutcome
+from ..pipeline.runner import _hw_stage_kernel, execute_job
+from .client import CoordinatorClient
+from .wire import Task, decode_outcome, encode_task, task_key
+
+__all__ = ["DIST_URL_ENV", "run_remote"]
+
+DIST_URL_ENV = "REPRO_DIST_URL"
+
+
+def run_remote(
+    fn: Callable[[Any], Dict[str, Any]],
+    tasks: Sequence[Task],
+    url: str = "",
+    poll: float = 0.1,
+    timeout: float = 600.0,
+) -> Iterator[JobOutcome]:
+    """Run ``tasks`` on the fleet behind ``url`` (or ``REPRO_DIST_URL``).
+
+    ``fn`` must be one of the two canonical kernels — workers decide what to
+    run from the task itself, so an arbitrary callable cannot cross the wire
+    and asking for one is a programming error worth failing loudly on.
+    """
+    if fn not in (execute_job, _hw_stage_kernel):
+        raise ValueError(
+            f"remote execution only runs the canonical kernels "
+            f"(execute_job / the codesign stage kernel), not {fn!r}"
+        )
+    tasks = list(tasks)
+    if not tasks:
+        return
+    url = url or os.environ.get(DIST_URL_ENV, "")
+    if not url:
+        raise RuntimeError(
+            f"no coordinator URL: pass --coordinator / set {DIST_URL_ENV} "
+            f"(start one with `repro-dist coordinator`)"
+        )
+    client = CoordinatorClient(url)
+    by_key: Dict[str, Task] = {}
+    entries = []
+    traced = _tracing_active()
+    for task in tasks:
+        key = task_key(task)
+        by_key.setdefault(key, task)
+        entries.append({"key": key, "task": encode_task(task), "traced": traced})
+    client.submit_tasks(entries)
+    METRICS.incr("dist.remote.tasks_dispatched", len(entries))
+
+    pending = list(by_key)
+    last_progress = time.monotonic()
+    while pending:
+        reply = client.collect(pending)
+        done = reply.get("done", {})
+        if done:
+            last_progress = time.monotonic()
+            for key, payload in done.items():
+                yield decode_outcome(payload, by_key[key])
+            pending = [k for k in pending if k not in done]
+            continue
+        if time.monotonic() - last_progress > timeout:
+            raise TimeoutError(
+                f"no outcome from {url} in {timeout:g}s with "
+                f"{len(pending)} task(s) pending — are workers running?"
+            )
+        time.sleep(poll)
+
+
+def _tracing_active() -> bool:
+    from ..obs.trace import current_tracer
+
+    return current_tracer() is not None

@@ -35,7 +35,13 @@ __all__ = [
     "validate_record",
 ]
 
-LEDGER_SCHEMA = 1
+#: Current schema. 2 added multi-host attribution: a top-level ``hostname``
+#: and a per-computed-job ``worker`` (``host:pid-N`` for distributed runs,
+#: ``pid-N`` for local pools). Both are additive and optional, so schema-1
+#: records written by older versions still validate.
+LEDGER_SCHEMA = 2
+
+_KNOWN_SCHEMAS = (None, 1, LEDGER_SCHEMA)
 
 #: Required top-level fields and their types (the CI-validated contract).
 _REQUIRED = {
@@ -90,8 +96,12 @@ def validate_record(record: Any) -> List[str]:
                 f"field {name!r} is {type(record[name]).__name__}, "
                 f"expected {kinds.__name__ if isinstance(kinds, type) else '/'.join(k.__name__ for k in kinds)}"
             )
-    if record.get("schema") not in (None, LEDGER_SCHEMA):
+    if record.get("schema") not in _KNOWN_SCHEMAS:
         errors.append(f"unknown schema version {record.get('schema')!r}")
+    if "hostname" in record and not isinstance(record["hostname"], str):
+        errors.append(
+            f"field 'hostname' is {type(record['hostname']).__name__}, expected str"
+        )
     for i, job in enumerate(record.get("jobs") or []):
         if not isinstance(job, dict):
             errors.append(f"jobs[{i}] is {type(job).__name__}, expected object")
@@ -101,6 +111,10 @@ def validate_record(record: Any) -> List[str]:
                 errors.append(f"jobs[{i}] missing field {name!r}")
             elif not isinstance(job[name], kinds):
                 errors.append(f"jobs[{i}].{name} has wrong type {type(job[name]).__name__}")
+        if "worker" in job and not isinstance(job["worker"], str):
+            errors.append(
+                f"jobs[{i}].worker has wrong type {type(job['worker']).__name__}"
+            )
     spans = record.get("spans")
     if record.get("traced") and spans is not None:
         if not isinstance(spans, dict) or "name" not in spans or "seconds" not in spans:
@@ -321,6 +335,9 @@ def render_run(record: Dict[str, Any], slowest: int = 8) -> List[str]:
         # vector fast path vs. the reference walk (REPRO_KERNEL / the
         # engine's kernel_path knob).
         ("quant.kernel.", "kernel"),
+        # Fleet activity (remote executor) and blob-tier claim traffic.
+        ("dist.", "dist"),
+        ("cache.backend.", "cache-backend"),
     ):
         row = {
             k[len(prefix):]: v for k, v in sorted(counters.items()) if k.startswith(prefix)
@@ -350,6 +367,22 @@ def render_run(record: Dict[str, Any], slowest: int = 8) -> List[str]:
                 )
             )
     jobs = [j for j in record.get("jobs", []) if not j.get("from_cache")]
+    by_worker: Dict[str, int] = {}
+    for job in jobs:
+        worker = str(job.get("worker", ""))
+        if worker:
+            by_worker[worker] = by_worker.get(worker, 0) + 1
+    # Only worth a line when the work actually spread across identities
+    # (multi-host fleet or a local pool's several processes).
+    if len(by_worker) > 1 or any(":" in w for w in by_worker):
+        host = record.get("hostname", "")
+        prefix = f"  workers (submitted from {host}): " if host else "  workers: "
+        lines.append(
+            prefix
+            + ", ".join(
+                f"{w}={n}" for w, n in sorted(by_worker.items(), key=lambda kv: -kv[1])
+            )
+        )
     jobs.sort(key=lambda j: -float(j.get("seconds", 0.0)))
     if jobs:
         lines.append(f"  slowest computed jobs (of {len(jobs)}):")

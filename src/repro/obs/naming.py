@@ -78,8 +78,22 @@ METRIC_NAMES = frozenset({
     # quantization kernel paths (repro.quant.microscopiq)
     "quant.kernel.vector_calls",
     "quant.kernel.reference_calls",
-    # sweep service (repro.serve.server)
+    # sweep service (repro.serve.server / repro.serve.client)
     "serve.auth.rejected",
+    "serve.client.retries",
+    # pluggable cache backends (repro.pipeline.cache)
+    "cache.backend.vacuums",
+    "cache.backend.claims_broken",
+    "cache.backend.claim_waits",
+    # distributed execution (repro.dist)
+    "dist.coordinator.tasks_queued",
+    "dist.coordinator.tasks_completed",
+    "dist.coordinator.cache_hits",
+    "dist.coordinator.dedup_hits",
+    "dist.coordinator.leases_expired",
+    "dist.coordinator.stale_pushes",
+    "dist.worker.tasks_run",
+    "dist.remote.tasks_dispatched",
 })
 
 

@@ -45,7 +45,7 @@ import os
 import sys
 from typing import List, Optional
 
-from .cache import ResultCache
+from .cache import BACKEND_ENV, ResultCache
 from .executor import EXECUTORS, default_workers
 from .runner import run_sweep
 from .spec import CALIBRATION_MODES, JOB_KINDS, SweepSpec, known_methods
@@ -179,6 +179,24 @@ def _add_grid_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--eval-seq-len", type=int, default=32)
 
 
+def _add_cache_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-backend", default=None, choices=["auto", "dir", "sqlite"],
+        help="result-cache storage backend: 'dir' (one JSON file per "
+             "result, the default layout), 'sqlite' (indexed single-file "
+             "store; faster clean/entries, safe concurrent writers), or "
+             "'auto' (detect from the cache directory / "
+             f"{BACKEND_ENV} env)",
+    )
+
+
+def _apply_cache_backend(args: argparse.Namespace) -> None:
+    """Export the chosen backend so every ResultCache this process (and its
+    pool workers) builds against the cache directory agrees on it."""
+    if getattr(args, "cache_backend", None):
+        os.environ[BACKEND_ENV] = args.cache_backend
+
+
 def _add_server_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--server",
@@ -200,9 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_grid_args(sweep)
     sweep.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    _add_cache_backend_arg(sweep)
     sweep.add_argument("--no-cache", action="store_true")
     sweep.add_argument(
         "--executor", default="auto", choices=["auto"] + sorted(EXECUTORS)
+    )
+    sweep.add_argument(
+        "--coordinator", default=None, metavar="URL",
+        help="repro-dist coordinator URL for --executor remote "
+             "(default: REPRO_DIST_URL env)",
     )
     sweep.add_argument("--workers", type=int, default=None)
     sweep.add_argument("--recompute", action="store_true")
@@ -254,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     show = sub.add_parser("show", help="summarize the result cache")
     show.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    _add_cache_backend_arg(show)
     show.add_argument("--limit", type=int, default=20)
 
     report = sub.add_parser(
@@ -283,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     clean = sub.add_parser("clean", help="delete cached results")
     clean.add_argument("--cache-dir", default=DEFAULT_CACHE)
+    _add_cache_backend_arg(clean)
     clean.add_argument(
         "--older-than", type=float, default=None, metavar="SECONDS",
         help="only remove entries older than this many seconds",
@@ -700,6 +726,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    _apply_cache_backend(args)
+    if args.coordinator:
+        from ..dist.remote import DIST_URL_ENV
+
+        # Through the environment so the RemoteExecutor (and any process-pool
+        # workers that end up dispatching stages) resolve the same fleet.
+        os.environ[DIST_URL_ENV] = args.coordinator
     from contextlib import nullcontext
 
     from ..quant.vector import KERNEL_PATH_ENV, use_kernel_path
@@ -760,9 +793,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
+    _apply_cache_backend(args)
     cache = ResultCache(args.cache_dir)
     stats = cache.stats()
-    print(f"cache {stats['root']}: {stats['entries']} results, {stats['bytes']} bytes")
+    print(f"cache {stats['root']} [{cache.backend_name}]: "
+          f"{stats['entries']} results, {stats['bytes']} bytes")
     for i, record in enumerate(cache.entries()):
         if i >= args.limit:
             print(f"... ({stats['entries'] - args.limit} more)")
@@ -833,15 +868,19 @@ def _cmd_clean(args: argparse.Namespace) -> int:
 
     from ..obs import RunLedger
 
+    _apply_cache_backend(args)
     cache = ResultCache(args.cache_dir)
     removed = cache.clean(older_than=older_than)
-    # The Hessian blob tier lives beside the records, under the same policy;
-    # the layout is HessianStore's business, not ours.
-    blobs = HessianStore.clean_disk(cache.root / "hessians", older_than=older_than)
+    # The Hessian blob tier lives beside the records, under the same policy.
+    # hessian_tier_target() routes to the matching layout — the blob
+    # directory for the dir backend, the indexed hessians.db for sqlite —
+    # so an age-based purge is one indexed query there, not a tree walk.
+    blobs = HessianStore.clean_disk(cache.hessian_tier_target(), older_than=older_than)
     # The run ledger ages out under the same policy too — otherwise
     # runs.jsonl grows without bound while the results it indexes vanish.
     ledger_removed = RunLedger(cache.root / "runs").compact(older_than=older_than)
-    print(f"removed {removed} cached results from {cache.root}"
+    print(f"removed {removed} cached results from {cache.root} "
+          f"[{cache.backend_name}]"
           + (f" and {blobs} hessian blobs" if blobs else "")
           + (f"; compacted {ledger_removed} ledger records" if ledger_removed
              else ""))

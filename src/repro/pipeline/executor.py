@@ -35,6 +35,7 @@ __all__ = [
     "EXECUTORS",
     "JobOutcome",
     "ProcessExecutor",
+    "RemoteExecutor",
     "SerialExecutor",
     "ThreadExecutor",
     "default_workers",
@@ -202,10 +203,38 @@ class ProcessExecutor(_PoolExecutor):
         return ProcessPoolExecutor(max_workers=n, mp_context=ctx)
 
 
+@dataclass
+class RemoteExecutor:
+    """Dispatch to a ``repro-dist`` coordinator's worker fleet.
+
+    Same contract as the pools — outcomes in completion order, bit-identical
+    metrics (workers derive each job's RNG seed from its hash, exactly as a
+    local executor would). ``workers`` is accepted for interface symmetry but
+    ignored: fleet size is however many ``repro-dist worker`` processes are
+    pulling. ``url`` defaults to ``REPRO_DIST_URL``.
+    """
+
+    name = "remote"
+    workers: Optional[int] = None
+    url: str = ""
+    poll: float = 0.1
+    timeout: float = 600.0
+
+    def run(
+        self, fn: Callable[[Job], Dict[str, Any]], jobs: Sequence[Job]
+    ) -> Iterator[JobOutcome]:
+        from ..dist.remote import run_remote  # lazy: dist is optional plumbing
+
+        yield from run_remote(
+            fn, jobs, url=self.url, poll=self.poll, timeout=self.timeout
+        )
+
+
 EXECUTORS: Dict[str, Callable[..., Any]] = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "remote": RemoteExecutor,
 }
 
 

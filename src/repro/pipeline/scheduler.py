@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import os
 import queue
+import socket
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple, Union
@@ -594,7 +595,7 @@ class SweepScheduler:
             # inherit it and share Hessian work across processes and runs.
             # Deliberately left set after the sweep: later jobs of the same
             # session keep hitting the shared tier.
-            os.environ[HESSIAN_DIR_ENV] = str(cache.root / "hessians")
+            os.environ[HESSIAN_DIR_ENV] = cache.hessian_tier_target()
         else:
             # No result cache ⇒ no disk tier either: a stale export from an
             # earlier sweep would silently resurrect that sweep's (possibly
@@ -843,8 +844,11 @@ class SweepScheduler:
                 }
                 if o.error is not None:
                     entry["error_type"] = o.error.get("type", "Error")
+                if o.worker and not o.from_cache:
+                    entry["worker"] = o.worker
                 ledger_jobs.append(entry)
             record = {
+                "hostname": socket.gethostname(),
                 "started_at": started_at,
                 "finished_at": time.time(),
                 "wall_s": telemetry["elapsed_s"],

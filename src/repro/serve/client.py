@@ -17,6 +17,7 @@ import urllib.request
 from dataclasses import asdict
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..obs.metrics import METRICS
 from ..pipeline.spec import SweepSpec
 
 __all__ = ["ServeClient", "ServeError", "sweep_to_payload"]
@@ -54,14 +55,34 @@ class ServeClient:
         base_url: str = DEFAULT_SERVER,
         timeout: float = 60.0,
         token: Optional[str] = None,
+        retries: int = 2,
+        backoff: float = 0.25,
     ):
         """``token`` rides every request as ``Authorization: Bearer <token>``
         (the server only checks it on POSTs); defaults to the same
         ``REPRO_SERVE_TOKEN`` environment variable the daemon reads, so a
-        client and server sharing an environment agree automatically."""
+        client and server sharing an environment agree automatically.
+
+        Connection failures retry up to ``retries`` extra times with
+        exponential backoff starting at ``backoff`` seconds. GETs retry on
+        any transport error; non-GETs only on refused connections (the one
+        failure mode that guarantees the server never saw the request, so
+        re-sending a mutation stays safe). ``retries=0`` disables.
+        """
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.token = (token if token is not None else os.environ.get(_TOKEN_ENV)) or None
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+
+    @staticmethod
+    def _retryable(method: str, exc: urllib.error.URLError) -> bool:
+        if method == "GET":
+            return True
+        reason = getattr(exc, "reason", None)
+        return isinstance(exc, ConnectionError) or isinstance(
+            reason, ConnectionError
+        )
 
     # ------------------------------------------------------------- plumbing
     def _auth_headers(self) -> Dict[str, str]:
@@ -77,25 +98,34 @@ class ServeClient:
         if payload is not None:
             data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                body = resp.read()
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        attempts = 0
+        while True:
+            req = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers, method=method
+            )
+            attempts += 1
             try:
-                decoded = json.loads(raw.decode())
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                decoded = {"error": raw.decode("utf-8", "replace")[:500]}
-            raise ServeError(
-                exc.code, str(decoded.get("error", exc.reason)), decoded
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServeError(
-                0, f"cannot reach {self.base_url}: {exc.reason}"
-            ) from exc
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    body = resp.read()
+                break
+            except urllib.error.HTTPError as exc:
+                raw = exc.read()
+                try:
+                    decoded = json.loads(raw.decode())
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = {"error": raw.decode("utf-8", "replace")[:500]}
+                raise ServeError(
+                    exc.code, str(decoded.get("error", exc.reason)), decoded
+                ) from None
+            except urllib.error.URLError as exc:
+                if attempts <= self.retries and self._retryable(method, exc):
+                    METRICS.incr("serve.client.retries")
+                    time.sleep(self.backoff * (2 ** (attempts - 1)))
+                    continue
+                suffix = f" after {attempts} attempts" if attempts > 1 else ""
+                raise ServeError(
+                    0, f"cannot reach {self.base_url}: {exc.reason}{suffix}"
+                ) from exc
         if not body:
             return {}
         return json.loads(body.decode())

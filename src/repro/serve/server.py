@@ -63,6 +63,7 @@ __all__ = [
     "DEFAULT_PORT",
     "SweepServer",
     "TOKEN_ENV",
+    "build_experiment_spec",
     "build_sweep_spec",
     "main",
     "start_in_thread",
@@ -98,7 +99,10 @@ def _as_pairs(value: Any, field: str) -> Any:
     raise ValueError(f"field {field!r} must be an object, got {type(value).__name__}")
 
 
-def _build_experiment_spec(payload: Any) -> ExperimentSpec:
+def build_experiment_spec(payload: Any) -> ExperimentSpec:
+    """A validated :class:`ExperimentSpec` from its ``asdict`` JSON form —
+    the single-spec sibling of :func:`build_sweep_spec`, shared with the
+    distributed wire format (:mod:`repro.dist.wire`)."""
     if not isinstance(payload, dict):
         raise ValueError("each extra_specs entry must be a JSON object")
     unknown = sorted(set(payload) - _SPEC_FIELDS)
@@ -147,7 +151,7 @@ def build_sweep_spec(payload: Any) -> SweepSpec:
                 kw[field] = _as_pairs(value, field)
     if kw.get("extra_specs"):
         kw["extra_specs"] = tuple(
-            _build_experiment_spec(entry) for entry in kw["extra_specs"]
+            build_experiment_spec(entry) for entry in kw["extra_specs"]
         )
     return SweepSpec(**kw)
 
